@@ -1,0 +1,99 @@
+package nezha_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"github.com/nezha-dag/nezha/internal/bench"
+	"github.com/nezha-dag/nezha/internal/core"
+	"github.com/nezha-dag/nezha/internal/types"
+	"github.com/nezha-dag/nezha/internal/workload"
+)
+
+// benchOpts shrinks experiments so a -bench=. pass stays tractable; run
+// cmd/nezha-bench for the paper-parameter sweeps.
+func benchOpts() bench.Options {
+	o := bench.DefaultOptions().Quick()
+	o.BlockSize = 100
+	return o
+}
+
+// runExperiment wraps one table/figure regeneration per benchmark
+// iteration.
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	e, err := bench.Lookup(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := benchOpts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl, err := e.Run(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tbl.WriteText(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per table and figure of the paper's evaluation (§VI).
+
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkTable4(b *testing.B) { runExperiment(b, "table4") }
+func BenchmarkFig9(b *testing.B)   { runExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { runExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { runExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { runExperiment(b, "fig12") }
+
+// Ablation benches (DESIGN.md A1–A4).
+
+func BenchmarkAblationReorder(b *testing.B) { runExperiment(b, "ablation-reorder") }
+func BenchmarkAblationRank(b *testing.B)    { runExperiment(b, "ablation-rank") }
+func BenchmarkAblationCommit(b *testing.B)  { runExperiment(b, "ablation-commit") }
+func BenchmarkAblationGraph(b *testing.B)   { runExperiment(b, "ablation-graph") }
+
+// Micro benchmarks of the core algorithm at the paper's epoch sizes.
+
+func BenchmarkNezhaSchedule(b *testing.B) {
+	for _, cfg := range []struct {
+		omega int
+		skew  float64
+	}{{2, 0}, {12, 0}, {12, 0.6}, {12, 0.8}} {
+		b.Run(fmt.Sprintf("omega=%d/skew=%.1f", cfg.omega, cfg.skew), func(b *testing.B) {
+			gen, err := workload.NewGenerator(workload.Config{
+				Seed: 1, Accounts: 10_000, Skew: cfg.skew, InitialBalance: 10_000,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			txs := gen.Txs(cfg.omega * 200)
+			for i, tx := range txs {
+				tx.ID = types.TxID(i)
+			}
+			snap, err := gen.Snapshot(txs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sims, err := workload.Simulate(txs, snap)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sched := core.MustNewScheduler(core.DefaultConfig())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sched.Schedule(sims); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(txs)), "txs/epoch")
+		})
+	}
+}
+
+func BenchmarkAblationWriteMix(b *testing.B) { runExperiment(b, "ablation-writemix") }
+
+func BenchmarkOCCAbortComparison(b *testing.B) { runExperiment(b, "occ-abort") }

@@ -1,0 +1,3 @@
+module github.com/nezha-dag/nezha
+
+go 1.22

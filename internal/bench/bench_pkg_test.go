@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// quickOpts returns heavily-shrunk options so the whole suite smoke-runs in
+// seconds.
+func quickOpts() Options {
+	o := DefaultOptions().Quick()
+	o.BlockSize = 20
+	o.Accounts = 1000
+	o.MaxCycles = 50_000
+	return o
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"a note"},
+	}
+	var text, csv bytes.Buffer
+	if err := tbl.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "## demo") || !strings.Contains(text.String(), "333") {
+		t.Fatalf("text output wrong:\n%s", text.String())
+	}
+	if !strings.HasPrefix(csv.String(), "a,bb\n1,2\n") {
+		t.Fatalf("csv output wrong:\n%s", csv.String())
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("fig9"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if len(Experiments()) < 10 {
+		t.Fatalf("registry lists %d experiments", len(Experiments()))
+	}
+}
+
+// TestAllExperimentsSmoke runs every experiment at drastically reduced
+// scale: each must produce a table with the right header arity and at
+// least one row.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow even when shrunk")
+	}
+	o := quickOpts()
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			tbl, err := e.Run(o)
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s: no rows", e.Name)
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Header) {
+					t.Fatalf("%s: row arity %d != header %d", e.Name, len(row), len(tbl.Header))
+				}
+			}
+			var buf bytes.Buffer
+			if err := tbl.WriteText(&buf); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestTable1MatchesPaperClosedForm: the total-conflicts column is exact.
+func TestTable1MatchesPaperClosedForm(t *testing.T) {
+	tbl, err := Table1(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"2": "780", "4": "3160", "6": "7140", "8": "12720"}
+	for _, row := range tbl.Rows {
+		if row[1] != want[row[0]] {
+			t.Fatalf("concurrency %s: total %s, want %s", row[0], row[1], want[row[0]])
+		}
+	}
+}
+
+// TestFig11ShapeHolds: the abort-rate curves must rise with skew and Nezha
+// must not abort more than CG at the top end (the reordering advantage).
+func TestFig11ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	o := quickOpts()
+	o.BlockSize = 200 // abort rates need realistic block fill
+	o.Reps = 2
+	tbl, err := Fig11(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tbl.Rows[0]
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if atof(t, last[1]) < atof(t, first[1]) {
+		t.Fatalf("nezha abort rate fell with skew: %s -> %s", first[1], last[1])
+	}
+	if last[2] != "OOM" && atof(t, last[1]) > atof(t, last[2])+0.5 {
+		t.Fatalf("nezha aborts (%s%%) materially exceed CG (%s%%) at skew 1.0", last[1], last[2])
+	}
+}
+
+func atof(t *testing.T, s string) float64 {
+	t.Helper()
+	var f float64
+	if _, err := fmt.Sscanf(s, "%f", &f); err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return f
+}

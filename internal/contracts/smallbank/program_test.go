@@ -1,0 +1,183 @@
+package smallbank_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/nezha-dag/nezha/internal/contracts/smallbank"
+	"github.com/nezha-dag/nezha/internal/types"
+	"github.com/nezha-dag/nezha/internal/vm"
+	"github.com/nezha-dag/nezha/internal/workload"
+)
+
+func executeCall(t *testing.T, call workload.Call, state vm.MapReader) *vm.Result {
+	t.Helper()
+	res, err := vm.Execute(smallbank.Program(), vm.Context{
+		Contract: smallbank.ContractAddress,
+		Payload:  workload.EncodeCall(call),
+		GasLimit: 1_000_000,
+	}, state)
+	if err != nil {
+		t.Fatalf("%v: %v", call.Op, err)
+	}
+	return res
+}
+
+func balanceState(pairs map[types.Key]uint64) vm.MapReader {
+	state := vm.MapReader{}
+	for k, v := range pairs {
+		state[k] = workload.EncodeBalance(v)
+	}
+	return state
+}
+
+func TestProgramRejectsUnknownSelector(t *testing.T) {
+	_, err := vm.Execute(smallbank.Program(), vm.Context{
+		Contract: smallbank.ContractAddress,
+		Payload:  []byte{0x7f, 0, 0, 0},
+		GasLimit: 1_000_000,
+	}, vm.MapReader{})
+	if !errors.Is(err, vm.ErrRevert) {
+		t.Fatalf("err = %v, want revert", err)
+	}
+}
+
+func TestGetBalanceReturnsTotal(t *testing.T) {
+	state := balanceState(map[types.Key]uint64{
+		smallbank.SavingsKey(4):  70,
+		smallbank.CheckingKey(4): 30,
+	})
+	res := executeCall(t, workload.Call{Op: smallbank.OpGetBalance, Acct1: 4}, state)
+	if !res.Returned || res.ReturnWord != 100 {
+		t.Fatalf("get_balance = %d (returned %v)", res.ReturnWord, res.Returned)
+	}
+	if len(res.Writes) != 0 {
+		t.Fatalf("get_balance wrote: %+v", res.Writes)
+	}
+}
+
+func TestSendPaymentSaturates(t *testing.T) {
+	state := balanceState(map[types.Key]uint64{
+		smallbank.CheckingKey(1): 10,
+		smallbank.CheckingKey(2): 5,
+	})
+	res := executeCall(t, workload.Call{Op: smallbank.OpSendPayment, Acct1: 1, Acct2: 2, Amount: 100}, state)
+	got := map[types.Key][]byte{}
+	for _, w := range res.Writes {
+		got[w.Key] = w.Value
+	}
+	if workload.DecodeBalance(got[smallbank.CheckingKey(1)]) != 0 {
+		t.Fatalf("sender balance = %d, want 0 (saturated)", workload.DecodeBalance(got[smallbank.CheckingKey(1)]))
+	}
+	if workload.DecodeBalance(got[smallbank.CheckingKey(2)]) != 105 {
+		t.Fatalf("receiver balance = %d, want 105", workload.DecodeBalance(got[smallbank.CheckingKey(2)]))
+	}
+}
+
+func TestWriteCheckPenalty(t *testing.T) {
+	// savings 3 + checking 5 = 8 < amount 10 → deduct 11 → saturate to 0.
+	state := balanceState(map[types.Key]uint64{
+		smallbank.SavingsKey(1):  3,
+		smallbank.CheckingKey(1): 5,
+	})
+	res := executeCall(t, workload.Call{Op: smallbank.OpWriteCheck, Acct1: 1, Amount: 10}, state)
+	if len(res.Writes) != 1 || workload.DecodeBalance(res.Writes[0].Value) != 0 {
+		t.Fatalf("writes = %+v", res.Writes)
+	}
+	// Sufficient funds: checking 50, amount 10 → 40.
+	state = balanceState(map[types.Key]uint64{
+		smallbank.SavingsKey(1):  100,
+		smallbank.CheckingKey(1): 50,
+	})
+	res = executeCall(t, workload.Call{Op: smallbank.OpWriteCheck, Acct1: 1, Amount: 10}, state)
+	if workload.DecodeBalance(res.Writes[0].Value) != 40 {
+		t.Fatalf("balance = %d, want 40", workload.DecodeBalance(res.Writes[0].Value))
+	}
+}
+
+// TestProgramMatchesFastPathSimulation is the load-bearing equivalence
+// check: across thousands of generated calls at several skews, the MiniVM
+// execution of the SmallBank bytecode must produce byte-identical read and
+// write sets to workload.Simulate's closed-form fast path. The scheduling
+// benchmarks use the fast path; the full-node pipeline uses the VM — this
+// test is what makes their results interchangeable.
+func TestProgramMatchesFastPathSimulation(t *testing.T) {
+	for _, skew := range []float64{0, 0.8} {
+		cfg := workload.DefaultConfig()
+		cfg.Skew = skew
+		cfg.Accounts = 500
+		gen, err := workload.NewGenerator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		txs := gen.Txs(1500)
+		for i, tx := range txs {
+			tx.ID = types.TxID(i)
+		}
+		snapshot, err := gen.Snapshot(txs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := workload.Simulate(txs, snapshot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reader := vm.MapReader(snapshot)
+		for i, tx := range txs {
+			res, err := vm.Execute(smallbank.Program(), vm.Context{
+				Contract: smallbank.ContractAddress,
+				Caller:   tx.From,
+				Payload:  tx.Payload,
+				GasLimit: tx.Gas,
+			}, reader)
+			if err != nil {
+				t.Fatalf("skew %.1f tx %d: %v", skew, i, err)
+			}
+			want := fast[i]
+			if len(res.Reads) != len(want.Reads) || len(res.Writes) != len(want.Writes) {
+				t.Fatalf("skew %.1f tx %d: set sizes differ: vm %d/%d, fast %d/%d",
+					skew, i, len(res.Reads), len(res.Writes), len(want.Reads), len(want.Writes))
+			}
+			for j := range want.Reads {
+				if res.Reads[j].Key != want.Reads[j].Key || !bytes.Equal(res.Reads[j].Value, want.Reads[j].Value) {
+					t.Fatalf("skew %.1f tx %d read %d differs", skew, i, j)
+				}
+			}
+			for j := range want.Writes {
+				if res.Writes[j].Key != want.Writes[j].Key {
+					t.Fatalf("skew %.1f tx %d write key %d differs", skew, i, j)
+				}
+				if !bytes.Equal(res.Writes[j].Value, want.Writes[j].Value) {
+					t.Fatalf("skew %.1f tx %d write value %d: vm %x fast %x",
+						skew, i, j, res.Writes[j].Value, want.Writes[j].Value)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkSmallBankExecute(b *testing.B) {
+	gen, err := workload.NewGenerator(workload.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	txs := gen.Txs(1000)
+	snapshot, err := gen.Snapshot(txs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reader := vm.MapReader(snapshot)
+	prog := smallbank.Program()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := txs[i%len(txs)]
+		if _, err := vm.Execute(prog, vm.Context{
+			Contract: smallbank.ContractAddress,
+			Payload:  tx.Payload,
+			GasLimit: tx.Gas,
+		}, reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package token_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"github.com/nezha-dag/nezha/internal/contracts/token"
+	"github.com/nezha-dag/nezha/internal/types"
+	"github.com/nezha-dag/nezha/internal/vm"
+)
+
+// world wraps a mutable state and executes calls, applying writes — a
+// miniature serial chain for unit-testing the contract.
+type world struct {
+	t     *testing.T
+	state vm.MapReader
+}
+
+func newWorld(t *testing.T) *world {
+	return &world{t: t, state: vm.MapReader{}}
+}
+
+func (w *world) exec(c token.Call) (*vm.Result, error) {
+	res, err := vm.Execute(token.Program(), vm.Context{
+		Contract: token.ContractAddress,
+		Payload:  c.Encode(),
+		GasLimit: 1_000_000,
+	}, w.state)
+	if err == nil {
+		for _, wr := range res.Writes {
+			w.state[wr.Key] = wr.Value
+		}
+	}
+	return res, err
+}
+
+func (w *world) mustExec(c token.Call) *vm.Result {
+	w.t.Helper()
+	res, err := w.exec(c)
+	if err != nil {
+		w.t.Fatalf("%d: %v", c.Op, err)
+	}
+	return res
+}
+
+func (w *world) balance(acct uint64) uint64 {
+	raw := w.state[token.BalanceKey(acct)]
+	if len(raw) != 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(raw)
+}
+
+func (w *world) supply() uint64 {
+	raw := w.state[token.SupplyKey()]
+	if len(raw) != 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(raw)
+}
+
+func TestMintAndSupply(t *testing.T) {
+	w := newWorld(t)
+	w.mustExec(token.Call{Op: token.OpMint, Arg1: 1, Amount: 100})
+	w.mustExec(token.Call{Op: token.OpMint, Arg1: 2, Amount: 50})
+	if w.balance(1) != 100 || w.balance(2) != 50 {
+		t.Fatalf("balances %d/%d", w.balance(1), w.balance(2))
+	}
+	if w.supply() != 150 {
+		t.Fatalf("supply %d", w.supply())
+	}
+}
+
+func TestTransferMovesFundsAndConserves(t *testing.T) {
+	w := newWorld(t)
+	w.mustExec(token.Call{Op: token.OpMint, Arg1: 1, Amount: 100})
+	w.mustExec(token.Call{Op: token.OpTransfer, Arg1: 1, Arg2: 2, Amount: 30})
+	if w.balance(1) != 70 || w.balance(2) != 30 {
+		t.Fatalf("balances %d/%d", w.balance(1), w.balance(2))
+	}
+	if w.supply() != 100 {
+		t.Fatalf("transfer changed supply: %d", w.supply())
+	}
+}
+
+func TestTransferRevertsOnInsufficientFunds(t *testing.T) {
+	w := newWorld(t)
+	w.mustExec(token.Call{Op: token.OpMint, Arg1: 1, Amount: 10})
+	_, err := w.exec(token.Call{Op: token.OpTransfer, Arg1: 1, Arg2: 2, Amount: 11})
+	if !errors.Is(err, vm.ErrRevert) {
+		t.Fatalf("err = %v, want revert", err)
+	}
+	// Reverted execution must leave no trace.
+	if w.balance(1) != 10 || w.balance(2) != 0 {
+		t.Fatalf("revert leaked writes: %d/%d", w.balance(1), w.balance(2))
+	}
+	// Exact balance succeeds.
+	w.mustExec(token.Call{Op: token.OpTransfer, Arg1: 1, Arg2: 2, Amount: 10})
+	if w.balance(1) != 0 || w.balance(2) != 10 {
+		t.Fatalf("exact transfer: %d/%d", w.balance(1), w.balance(2))
+	}
+}
+
+func TestBalanceOfReturns(t *testing.T) {
+	w := newWorld(t)
+	w.mustExec(token.Call{Op: token.OpMint, Arg1: 7, Amount: 42})
+	res := w.mustExec(token.Call{Op: token.OpBalanceOf, Arg1: 7})
+	if !res.Returned || res.ReturnWord != 42 {
+		t.Fatalf("balance_of = %d", res.ReturnWord)
+	}
+	if len(res.Writes) != 0 {
+		t.Fatal("balance_of wrote state")
+	}
+}
+
+func TestApproveAndTransferFrom(t *testing.T) {
+	w := newWorld(t)
+	w.mustExec(token.Call{Op: token.OpMint, Arg1: 1, Amount: 100})
+	w.mustExec(token.Call{Op: token.OpApprove, Arg1: 1, Arg2: 2, Amount: 40})
+
+	// Within allowance: succeeds, decrements allowance and balance.
+	w.mustExec(token.Call{Op: token.OpTransferFrom, Arg1: 1, Arg2: 2, Amount: 25})
+	if w.balance(1) != 75 || w.balance(2) != 25 {
+		t.Fatalf("balances %d/%d", w.balance(1), w.balance(2))
+	}
+	// Remaining allowance 15: a 16-unit pull reverts.
+	if _, err := w.exec(token.Call{Op: token.OpTransferFrom, Arg1: 1, Arg2: 2, Amount: 16}); !errors.Is(err, vm.ErrRevert) {
+		t.Fatalf("over-allowance: %v", err)
+	}
+	// 15 more succeeds and empties the allowance.
+	w.mustExec(token.Call{Op: token.OpTransferFrom, Arg1: 1, Arg2: 2, Amount: 15})
+	if _, err := w.exec(token.Call{Op: token.OpTransferFrom, Arg1: 1, Arg2: 2, Amount: 1}); !errors.Is(err, vm.ErrRevert) {
+		t.Fatalf("spent allowance still works: %v", err)
+	}
+	if w.balance(1) != 60 || w.balance(2) != 40 {
+		t.Fatalf("final balances %d/%d", w.balance(1), w.balance(2))
+	}
+}
+
+func TestTransferFromInsufficientBalanceReverts(t *testing.T) {
+	w := newWorld(t)
+	w.mustExec(token.Call{Op: token.OpMint, Arg1: 1, Amount: 5})
+	w.mustExec(token.Call{Op: token.OpApprove, Arg1: 1, Arg2: 2, Amount: 100})
+	if _, err := w.exec(token.Call{Op: token.OpTransferFrom, Arg1: 1, Arg2: 2, Amount: 10}); !errors.Is(err, vm.ErrRevert) {
+		t.Fatalf("err = %v", err)
+	}
+	if w.balance(1) != 5 {
+		t.Fatal("revert leaked")
+	}
+}
+
+func TestUnknownSelectorReverts(t *testing.T) {
+	_, err := vm.Execute(token.Program(), vm.Context{
+		Contract: token.ContractAddress,
+		Payload:  []byte{0x7e, 0, 0, 0},
+		GasLimit: 100_000,
+	}, vm.MapReader{})
+	if !errors.Is(err, vm.ErrRevert) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := token.Call{Op: token.OpTransferFrom, Arg1: 11, Arg2: 22, Amount: 33}
+	out, err := token.Decode(in.Encode())
+	if err != nil || out != in {
+		t.Fatalf("%+v, %v", out, err)
+	}
+	if _, err := token.Decode([]byte{1}); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	bad := in.Encode()
+	bad[0] = 99
+	if _, err := token.Decode(bad); err == nil {
+		t.Fatal("bad selector accepted")
+	}
+}
+
+func TestKeyNamespaces(t *testing.T) {
+	if token.BalanceKey(1) == token.SupplyKey() {
+		t.Fatal("balance/supply collide")
+	}
+	if token.AllowanceKey(1, 2) == token.AllowanceKey(2, 1) {
+		t.Fatal("allowance not direction-sensitive")
+	}
+	var smallbankKey types.Key
+	if token.BalanceKey(1) == smallbankKey {
+		t.Fatal("zero key")
+	}
+}
+
+func TestRWFootprints(t *testing.T) {
+	w := newWorld(t)
+	w.mustExec(token.Call{Op: token.OpMint, Arg1: 1, Amount: 100})
+	res := w.mustExec(token.Call{Op: token.OpTransfer, Arg1: 1, Arg2: 2, Amount: 5})
+	// Transfer reads both balances (recipient via its read-modify-write)
+	// and writes both.
+	if len(res.Writes) != 2 {
+		t.Fatalf("transfer writes %d cells", len(res.Writes))
+	}
+	keys := map[types.Key]bool{}
+	for _, wr := range res.Writes {
+		keys[wr.Key] = true
+	}
+	if !keys[token.BalanceKey(1)] || !keys[token.BalanceKey(2)] {
+		t.Fatal("transfer write set wrong")
+	}
+}

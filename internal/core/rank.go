@@ -1,0 +1,121 @@
+package core
+
+import "github.com/nezha-dag/nezha/internal/graph"
+
+// RankHeuristic selects how Algorithm 1 breaks out of cycles when no
+// zero-in-degree address remains.
+type RankHeuristic int
+
+const (
+	// RankMaxOutDegree is the paper's heuristic: among the addresses with
+	// minimum in-degree, pick the first (lowest subscript) with the
+	// maximum out-degree — "for the address with more dependencies, its
+	// transaction sorting result will affect the sorting of more
+	// addresses" (§IV-C).
+	RankMaxOutDegree RankHeuristic = iota + 1
+	// RankMinSubscript is the naive ablation (A2 in DESIGN.md): among the
+	// addresses with minimum in-degree, pick the lowest subscript,
+	// ignoring out-degrees.
+	RankMinSubscript
+)
+
+// RankAddresses implements Algorithm 1 (sorting rank division): an
+// optimized topological sort over the address-dependency graph that keeps
+// making progress when cycles exist. It returns the vertex ids of the ACG in
+// sorting-rank order (rank 0 first).
+//
+// The iterative structure replaces the paper's tail recursion. Two paths:
+//
+//   - Fast path (no cycle blocking): a min-heap of zero-in-degree vertices
+//     pops the smallest subscript, exactly Kahn's algorithm — O(V+E) total.
+//   - Cycle path: when no vertex has zero in-degree, scan the remaining
+//     vertices for the minimum in-degree and apply the configured
+//     heuristic. Each scan is O(V), paid only once per cycle-blocked round.
+func RankAddresses(acg *ACG, heuristic RankHeuristic) []int {
+	g := acg.Deps
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+
+	inDeg := make([]int, n)
+	removed := make([]bool, n)
+	for v := 0; v < n; v++ {
+		inDeg[v] = g.InDegree(v)
+	}
+	// outDeg tracks live out-degree (edges toward non-removed vertices),
+	// which the max-out-degree heuristic consults.
+	outDeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		outDeg[v] = g.OutDegree(v)
+	}
+	// Reverse adjacency so removing a vertex can decrement the live
+	// out-degrees of its predecessors.
+	rev := make([][]int, n)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Out(u) {
+			rev[v] = append(rev[v], u)
+		}
+	}
+
+	var zero graph.IntMinHeap
+	for v := 0; v < n; v++ {
+		if inDeg[v] == 0 {
+			zero.Push(v)
+		}
+	}
+
+	seq := make([]int, 0, n)
+	remove := func(u int) {
+		removed[u] = true
+		seq = append(seq, u)
+		for _, v := range g.Out(u) {
+			if removed[v] {
+				continue
+			}
+			inDeg[v]--
+			if inDeg[v] == 0 {
+				zero.Push(v)
+			}
+		}
+		for _, p := range rev[u] {
+			if !removed[p] {
+				outDeg[p]--
+			}
+		}
+	}
+
+	for len(seq) < n {
+		if zero.Len() > 0 {
+			u := zero.Pop()
+			if removed[u] {
+				continue
+			}
+			remove(u)
+			continue
+		}
+		// Cycles block every remaining vertex: find the minimum live
+		// in-degree, then apply the heuristic.
+		min := -1
+		for v := 0; v < n; v++ {
+			if !removed[v] && (min == -1 || inDeg[v] < inDeg[min]) {
+				min = v
+			}
+		}
+		selected := min
+		if heuristic == RankMaxOutDegree {
+			for v := 0; v < n; v++ {
+				if removed[v] || inDeg[v] != inDeg[min] {
+					continue
+				}
+				// First vertex with the maximum out-degree: strict
+				// inequality keeps the lowest subscript among ties.
+				if outDeg[v] > outDeg[selected] {
+					selected = v
+				}
+			}
+		}
+		remove(selected)
+	}
+	return seq
+}

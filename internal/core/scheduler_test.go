@@ -1,0 +1,419 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/nezha-dag/nezha/internal/types"
+)
+
+// randomWorkload synthesizes an epoch: a snapshot over nAddrs keys and
+// nTxs transactions, each reading and writing small random key sets with
+// read values taken from the snapshot (as a correct speculative executor
+// would produce).
+func randomWorkload(rng *rand.Rand, nTxs, nAddrs int) (map[types.Key][]byte, []*types.SimResult) {
+	snapshot := make(map[types.Key][]byte, nAddrs)
+	keys := make([]types.Key, nAddrs)
+	for i := range keys {
+		keys[i] = types.KeyFromUint64(uint64(i))
+		snapshot[keys[i]] = []byte{byte(i), byte(i >> 8)}
+	}
+	sims := make([]*types.SimResult, nTxs)
+	for i := range sims {
+		sim := &types.SimResult{Tx: &types.Transaction{ID: types.TxID(i)}}
+		nr, nw := rng.Intn(3), 1+rng.Intn(2)
+		seenR := make(map[types.Key]bool)
+		for r := 0; r < nr; r++ {
+			k := keys[rng.Intn(nAddrs)]
+			if seenR[k] {
+				continue
+			}
+			seenR[k] = true
+			sim.Reads = append(sim.Reads, types.ReadEntry{Key: k, Value: snapshot[k]})
+		}
+		seenW := make(map[types.Key]bool)
+		for w := 0; w < nw; w++ {
+			k := keys[rng.Intn(nAddrs)]
+			if seenW[k] {
+				continue
+			}
+			seenW[k] = true
+			sim.Writes = append(sim.Writes, types.WriteEntry{Key: k, Value: []byte{byte(i), 0xff}})
+		}
+		sims[i] = sim
+	}
+	return snapshot, sims
+}
+
+// TestScheduleSerializableOnRandomWorkloads is the central property test:
+// across contention levels, every schedule Nezha produces must pass full
+// serializability verification (DESIGN.md invariants 2–4).
+func TestScheduleSerializableOnRandomWorkloads(t *testing.T) {
+	configs := []Config{
+		DefaultConfig(),
+		{Reorder: false, Heuristic: RankMaxOutDegree},
+		{Reorder: true, Heuristic: RankMinSubscript},
+	}
+	for _, nAddrs := range []int{2, 5, 20, 200} {
+		for ci, cfg := range configs {
+			sched := MustNewScheduler(cfg)
+			rng := rand.New(rand.NewSource(int64(nAddrs*10 + ci)))
+			for trial := 0; trial < 25; trial++ {
+				snapshot, sims := randomWorkload(rng, 60, nAddrs)
+				out, _, err := sched.Schedule(sims)
+				if err != nil {
+					t.Fatalf("addrs=%d cfg=%d trial=%d: Schedule: %v", nAddrs, ci, trial, err)
+				}
+				if err := VerifySchedule(snapshot, sims, out); err != nil {
+					t.Fatalf("addrs=%d cfg=%d trial=%d: %v", nAddrs, ci, trial, err)
+				}
+				if out.CommittedCount()+out.AbortedCount() != len(sims) {
+					t.Fatalf("addrs=%d cfg=%d trial=%d: %d committed + %d aborted != %d txs",
+						nAddrs, ci, trial, out.CommittedCount(), out.AbortedCount(), len(sims))
+				}
+			}
+		}
+	}
+}
+
+// TestScheduleDeterministic re-runs scheduling on identical input and on a
+// re-generated copy of the input; both must agree exactly (invariant 1 —
+// every node must derive the same schedule).
+func TestScheduleDeterministic(t *testing.T) {
+	sched := MustNewScheduler(DefaultConfig())
+	for trial := 0; trial < 10; trial++ {
+		rng1 := rand.New(rand.NewSource(int64(trial)))
+		rng2 := rand.New(rand.NewSource(int64(trial)))
+		_, sims1 := randomWorkload(rng1, 80, 10)
+		_, sims2 := randomWorkload(rng2, 80, 10)
+		out1, _, err1 := sched.Schedule(sims1)
+		out2, _, err2 := sched.Schedule(sims2)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("Schedule: %v / %v", err1, err2)
+		}
+		if !out1.Equal(out2) {
+			t.Fatalf("trial %d: schedules diverge", trial)
+		}
+	}
+}
+
+// TestReorderingNeverIncreasesAborts verifies the §IV-D claim that the
+// enhancement only rescues transactions: on every random workload the
+// reordering abort count is <= the plain abort count.
+func TestReorderingNeverIncreasesAborts(t *testing.T) {
+	plain := MustNewScheduler(Config{Reorder: false, Heuristic: RankMaxOutDegree})
+	enhanced := MustNewScheduler(DefaultConfig())
+	rng := rand.New(rand.NewSource(7))
+	rescued := 0
+	for trial := 0; trial < 40; trial++ {
+		_, sims := randomWorkload(rng, 80, 6) // high contention
+		p, _, err := plain.Schedule(sims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, _, err := enhanced.Schedule(sims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.AbortedCount() > p.AbortedCount() {
+			t.Fatalf("trial %d: reordering raised aborts %d -> %d", trial, p.AbortedCount(), e.AbortedCount())
+		}
+		rescued += p.AbortedCount() - e.AbortedCount()
+	}
+	if rescued == 0 {
+		t.Fatal("reordering never rescued a transaction across 40 high-contention trials; enhancement likely inert")
+	}
+}
+
+// TestEmptyAndTrivialInputs covers the degenerate epochs.
+func TestEmptyAndTrivialInputs(t *testing.T) {
+	sched := MustNewScheduler(DefaultConfig())
+
+	out, _, err := sched.Schedule(nil)
+	if err != nil {
+		t.Fatalf("empty: %v", err)
+	}
+	if out.CommittedCount() != 0 || out.AbortedCount() != 0 {
+		t.Fatal("empty epoch produced commits or aborts")
+	}
+
+	// A transaction touching no state commits in group 1.
+	stateless := &types.SimResult{Tx: &types.Transaction{ID: 0}}
+	out, _, err = sched.Schedule([]*types.SimResult{stateless})
+	if err != nil {
+		t.Fatalf("stateless: %v", err)
+	}
+	if out.Seqs[0] != 1 {
+		t.Fatalf("stateless tx seq = %d, want 1", out.Seqs[0])
+	}
+
+	// A single read-write transaction commits alone.
+	solo := simRW(0, []types.Key{key(1)}, []types.Key{key(2)})
+	out, _, err = sched.Schedule([]*types.SimResult{solo})
+	if err != nil {
+		t.Fatalf("solo: %v", err)
+	}
+	if out.CommittedCount() != 1 || out.AbortedCount() != 0 {
+		t.Fatal("solo tx did not commit cleanly")
+	}
+}
+
+// TestNonConflictingTxsShareGroups: transactions on disjoint keys must all
+// commit, and the schedule must exhibit real concurrency (fewer groups than
+// transactions).
+func TestNonConflictingTxsShareGroups(t *testing.T) {
+	const n = 50
+	sims := make([]*types.SimResult, n)
+	for i := 0; i < n; i++ {
+		sims[i] = simRW(types.TxID(i),
+			[]types.Key{types.KeyFromUint64(uint64(2 * i))},
+			[]types.Key{types.KeyFromUint64(uint64(2*i + 1))})
+	}
+	out, _, err := MustNewScheduler(DefaultConfig()).Schedule(sims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AbortedCount() != 0 {
+		t.Fatalf("disjoint txs aborted: %+v", out.Aborted)
+	}
+	if groups := out.Groups(); len(groups) != 1 {
+		t.Fatalf("disjoint txs split into %d groups, want 1", len(groups))
+	}
+}
+
+// TestReadOnlyTxsAllShareOneGroup: pure readers never conflict (rule 3 of
+// §IV-C) and must share one sequence number.
+func TestReadOnlyTxsAllShareOneGroup(t *testing.T) {
+	hot := key(9)
+	sims := make([]*types.SimResult, 20)
+	for i := range sims {
+		sims[i] = simRW(types.TxID(i), []types.Key{hot}, nil)
+	}
+	out, _, err := MustNewScheduler(DefaultConfig()).Schedule(sims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AbortedCount() != 0 {
+		t.Fatal("read-only txs aborted")
+	}
+	if groups := out.Groups(); len(groups) != 1 || len(groups[0]) != 20 {
+		t.Fatalf("read-only txs split into %d groups", len(groups))
+	}
+}
+
+// TestHotWriteKeySerializes: N writers of one key must all commit with
+// strictly increasing, id-ordered sequence numbers.
+func TestHotWriteKeySerializes(t *testing.T) {
+	hot := key(1)
+	const n = 30
+	sims := make([]*types.SimResult, n)
+	for i := range sims {
+		sims[i] = simRW(types.TxID(i), nil, []types.Key{hot})
+	}
+	out, _, err := MustNewScheduler(DefaultConfig()).Schedule(sims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AbortedCount() != 0 {
+		t.Fatalf("blind writers aborted: %+v", out.Aborted)
+	}
+	var prev types.Seq
+	for i := 0; i < n; i++ {
+		seq := out.Seqs[types.TxID(i)]
+		if seq <= prev {
+			t.Fatalf("writer %d seq %d not above predecessor %d", i, seq, prev)
+		}
+		prev = seq
+	}
+}
+
+// TestSchedulerRejectsBadConfig exercises config validation.
+func TestSchedulerRejectsBadConfig(t *testing.T) {
+	if _, err := NewScheduler(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewScheduler did not panic")
+		}
+	}()
+	MustNewScheduler(Config{Heuristic: RankHeuristic(42)})
+}
+
+// TestVerifyScheduleCatchesViolations feeds hand-built broken schedules to
+// the verifier; each must be rejected with a descriptive error.
+func TestVerifyScheduleCatchesViolations(t *testing.T) {
+	k1, k2 := key(1), key(2)
+	snapshot := map[types.Key][]byte{k1: {1}, k2: {2}}
+	reader := &types.SimResult{Tx: &types.Transaction{ID: 0},
+		Reads: []types.ReadEntry{{Key: k1, Value: []byte{1}}}}
+	writer := &types.SimResult{Tx: &types.Transaction{ID: 1},
+		Writes: []types.WriteEntry{{Key: k1, Value: []byte{9}}}}
+	writer2 := &types.SimResult{Tx: &types.Transaction{ID: 2},
+		Writes: []types.WriteEntry{{Key: k1, Value: []byte{8}}}}
+	sims := []*types.SimResult{reader, writer, writer2}
+
+	cases := []struct {
+		name  string
+		build func() *types.Schedule
+	}{
+		{"write before read", func() *types.Schedule {
+			s := types.NewSchedule()
+			s.Commit(1, 1) // writer precedes reader
+			s.Commit(0, 2)
+			return s
+		}},
+		{"write equals read", func() *types.Schedule {
+			s := types.NewSchedule()
+			s.Commit(0, 1)
+			s.Commit(1, 1)
+			return s
+		}},
+		{"duplicate write seq", func() *types.Schedule {
+			s := types.NewSchedule()
+			s.Commit(1, 2)
+			s.Commit(2, 2)
+			return s
+		}},
+		{"zero seq", func() *types.Schedule {
+			s := types.NewSchedule()
+			s.Commit(0, 0)
+			return s
+		}},
+		{"committed and aborted", func() *types.Schedule {
+			s := types.NewSchedule()
+			s.Commit(0, 1)
+			s.Aborted = append(s.Aborted, types.Abort{ID: 0, Reason: types.AbortCycle})
+			return s
+		}},
+		{"unknown tx", func() *types.Schedule {
+			s := types.NewSchedule()
+			s.Commit(99, 1)
+			return s
+		}},
+	}
+	for _, tc := range cases {
+		if err := VerifySchedule(snapshot, sims, tc.build()); err == nil {
+			t.Errorf("%s: verifier accepted a broken schedule", tc.name)
+		}
+	}
+
+	good := types.NewSchedule()
+	good.Commit(0, 1)
+	good.Commit(1, 2)
+	good.Commit(2, 3)
+	if err := VerifySchedule(snapshot, sims, good); err != nil {
+		t.Errorf("verifier rejected a valid schedule: %v", err)
+	}
+}
+
+// TestCommitStateMatchesSerialReplay: the group-concurrent commit and a
+// serial replay must install identical final values.
+func TestCommitStateMatchesSerialReplay(t *testing.T) {
+	sched := MustNewScheduler(DefaultConfig())
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		snapshot, sims := randomWorkload(rng, 60, 8)
+		out, _, err := sched.Schedule(sims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byID := make(map[types.TxID]*types.SimResult)
+		for _, s := range sims {
+			byID[s.Tx.ID] = s
+		}
+		serial := make(map[types.Key][]byte)
+		for _, id := range out.SerialOrder() {
+			for _, w := range byID[id].Writes {
+				serial[w.Key] = w.Value
+			}
+		}
+		group := CommitState(sims, out)
+		if len(serial) != len(group) {
+			t.Fatalf("trial %d: state sizes differ: %d vs %d", trial, len(serial), len(group))
+		}
+		for k, v := range serial {
+			if string(group[k]) != string(v) {
+				t.Fatalf("trial %d: key %s: serial %x vs group %x", trial, k, v, group[k])
+			}
+		}
+		_ = snapshot
+	}
+}
+
+// TestQuickRandomRWSets drives the scheduler through testing/quick with
+// fully arbitrary (tiny) read/write sets.
+func TestQuickRandomRWSets(t *testing.T) {
+	sched := MustNewScheduler(DefaultConfig())
+	f := func(spec [][2]uint8) bool {
+		if len(spec) > 64 {
+			spec = spec[:64]
+		}
+		snapshot := make(map[types.Key][]byte)
+		sims := make([]*types.SimResult, 0, len(spec))
+		for i, rw := range spec {
+			readKey := types.KeyFromUint64(uint64(rw[0] % 8))
+			writeKey := types.KeyFromUint64(uint64(rw[1] % 8))
+			snapshot[readKey] = nil
+			sim := &types.SimResult{Tx: &types.Transaction{ID: types.TxID(i)}}
+			sim.Reads = append(sim.Reads, types.ReadEntry{Key: readKey})
+			sim.Writes = append(sim.Writes, types.WriteEntry{Key: writeKey, Value: []byte{byte(i)}})
+			sims = append(sims, sim)
+		}
+		out, _, err := sched.Schedule(sims)
+		if err != nil {
+			return false
+		}
+		return VerifySchedule(snapshot, sims, out) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAbortRateGrowsWithContention sanity-checks the Fig. 11 mechanism:
+// shrinking the key space (more contention) should not shrink the abort
+// rate dramatically, and zero contention must yield zero aborts.
+func TestAbortRateGrowsWithContention(t *testing.T) {
+	sched := MustNewScheduler(DefaultConfig())
+	rate := func(nAddrs int) float64 {
+		rng := rand.New(rand.NewSource(5))
+		var aborted, total int
+		for trial := 0; trial < 20; trial++ {
+			_, sims := randomWorkload(rng, 100, nAddrs)
+			out, _, err := sched.Schedule(sims)
+			if err != nil {
+				t.Fatal(err)
+			}
+			aborted += out.AbortedCount()
+			total += len(sims)
+		}
+		return float64(aborted) / float64(total)
+	}
+	low := rate(10_000)
+	high := rate(4)
+	if low > 0.02 {
+		t.Fatalf("near-zero contention abort rate = %.3f", low)
+	}
+	if high <= low {
+		t.Fatalf("contention did not raise abort rate: low=%.3f high=%.3f", low, high)
+	}
+}
+
+func BenchmarkScheduleUniform(b *testing.B) {
+	for _, n := range []int{400, 1600} {
+		b.Run(fmt.Sprintf("txs=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			_, sims := randomWorkload(rng, n, 10_000)
+			sched := MustNewScheduler(DefaultConfig())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sched.Schedule(sims); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"github.com/nezha-dag/nezha/internal/types"
+)
+
+// initialSeq is the first sequence number handed out; 0 is reserved as the
+// "unassigned" sentinel (§IV-C uses an abstract s; any base works as long as
+// every node uses the same one).
+const initialSeq types.Seq = 1
+
+// sorter carries the mutable state of hierarchical sorting across the
+// addresses of one epoch.
+type sorter struct {
+	acg     *ACG
+	reorder bool
+
+	seqOf   map[types.TxID]types.Seq
+	aborted map[types.TxID]bool
+	// used[j] records every sequence number carried by a unit on address
+	// j ("while writeSeq is assigned", Algorithm 2 line 31): two writes
+	// on one address must never share a number.
+	used []map[types.Seq]bool
+	// maxAssigned[j] is the highest sequence number present on address j,
+	// consulted by the reordering enhancement (§IV-D: "find the maximum
+	// assigned sequence number on A_j and A_j+1").
+	maxAssigned []types.Seq
+}
+
+func newSorter(acg *ACG, reorder bool) *sorter {
+	return &sorter{
+		acg:         acg,
+		reorder:     reorder,
+		seqOf:       make(map[types.TxID]types.Seq, len(acg.sims)),
+		aborted:     make(map[types.TxID]bool),
+		used:        make([]map[types.Seq]bool, len(acg.Addrs)),
+		maxAssigned: make([]types.Seq, len(acg.Addrs)),
+	}
+}
+
+// assign gives tx the sequence number seq and propagates it to every
+// address the transaction touches, keeping used/maxAssigned accurate. On
+// reassignment the old number stays marked used — stale marks only make
+// later writes skip a number, which is harmless and keeps this O(u).
+func (s *sorter) assign(id types.TxID, seq types.Seq) {
+	s.seqOf[id] = seq
+	sim := s.acg.sims[id]
+	mark := func(k types.Key) {
+		j := s.acg.index[k]
+		if s.used[j] == nil {
+			s.used[j] = make(map[types.Seq]bool)
+		}
+		s.used[j][seq] = true
+		if seq > s.maxAssigned[j] {
+			s.maxAssigned[j] = seq
+		}
+	}
+	for _, r := range sim.Reads {
+		mark(r.Key)
+	}
+	for _, w := range sim.Writes {
+		mark(w.Key)
+	}
+}
+
+// abortTx marks the transaction aborted; its units are ignored by every
+// address processed afterwards.
+func (s *sorter) abortTx(id types.TxID) { s.aborted[id] = true }
+
+// run executes Algorithm 2 on every address in rank order.
+func (s *sorter) run(ranks []int) {
+	for _, j := range ranks {
+		s.sortAddress(j)
+	}
+}
+
+// sortAddress is Algorithm 2 (transaction sorting) on one address.
+func (s *sorter) sortAddress(j int) {
+	addr := &s.acg.Addrs[j]
+
+	// Live units: transactions aborted on earlier addresses no longer
+	// constrain anyone.
+	reads := make([]types.TxID, 0, len(addr.Reads))
+	for _, id := range addr.Reads {
+		if !s.aborted[id] {
+			reads = append(reads, id)
+		}
+	}
+	writes := make([]types.TxID, 0, len(addr.Writes))
+	for _, id := range addr.Writes {
+		if !s.aborted[id] {
+			writes = append(writes, id)
+		}
+	}
+
+	// --- Read phase (lines 3–15) ---
+	var maxRead types.Seq // 0 = "no read units on this address" (line 25)
+	if len(reads) > 0 {
+		var sortedReads []types.TxID
+		for _, id := range reads {
+			if s.seqOf[id] != 0 {
+				sortedReads = append(sortedReads, id)
+			}
+		}
+		if len(sortedReads) == 0 {
+			// All reads share the initial number: reads never conflict
+			// with each other (rule 3 of §IV-C).
+			for _, id := range reads {
+				s.assign(id, initialSeq)
+			}
+			maxRead = initialSeq
+		} else {
+			minSeq, maxSeq := s.seqOf[sortedReads[0]], s.seqOf[sortedReads[0]]
+			for _, id := range sortedReads[1:] {
+				if q := s.seqOf[id]; q < minSeq {
+					minSeq = q
+				} else if q > maxSeq {
+					maxSeq = q
+				}
+			}
+			maxRead = maxSeq
+			for _, id := range reads {
+				if s.seqOf[id] == 0 {
+					s.assign(id, minSeq)
+				}
+			}
+		}
+	}
+
+	// --- Write phase ---
+	readsHere := make(map[types.TxID]bool, len(reads))
+	for _, id := range reads {
+		readsHere[id] = true
+	}
+	var sortedWrites []types.TxID
+	for _, id := range writes {
+		if s.seqOf[id] != 0 {
+			sortedWrites = append(sortedWrites, id)
+		}
+	}
+
+	// Lines 17–19: a sorted write unit whose read unit sits on the same
+	// address must move above every read (the read-before-write rule).
+	// The paper's pseudocode handles one such unit; several transactions
+	// can read+write the same address, so each gets the next number up,
+	// in ascending id order for determinism. The bump applies only when
+	// the write actually sits at or below the read ceiling — re-bumping a
+	// transaction that is already safely above every read would silently
+	// invalidate the numbers it carries on earlier-ranked addresses.
+	bumped := make(map[types.TxID]bool)
+	for _, id := range sortedWrites {
+		if !readsHere[id] || s.seqOf[id] > maxRead {
+			continue
+		}
+		// The new number must clear this address's read ceiling AND every
+		// number already present on the other addresses the transaction
+		// writes — otherwise the reassignment silently collides with a
+		// write sequenced there earlier (a write-write conflict the
+		// safety sweep would have to abort).
+		target := maxRead + 1
+		for _, w := range s.acg.sims[id].Writes {
+			if m := s.maxAssigned[s.acg.index[w.Key]]; m >= target {
+				target = m + 1
+			}
+		}
+		s.assign(id, target)
+		if target > maxRead {
+			maxRead = target
+		}
+		bumped[id] = true
+	}
+
+	// Lines 20–24: any other sorted write below the read ceiling is
+	// unserializable — unless the reordering enhancement (§IV-D) can bump
+	// it above everything it conflicts with. Only transactions with
+	// multiple writes and no reads qualify: their anomaly stems purely
+	// from a write-write dependency, which the reorderability theorem
+	// [FabricSharp] allows flipping. Bumping a transaction that also
+	// reads would drag its read units above writes it observed the
+	// snapshot past, converting one abort into several.
+	for _, id := range sortedWrites {
+		if bumped[id] || s.aborted[id] {
+			continue
+		}
+		if s.seqOf[id] >= maxRead {
+			continue
+		}
+		sim := s.acg.sims[id]
+		if s.reorder && len(sim.Writes) >= 2 && len(sim.Reads) == 0 {
+			var top types.Seq
+			for _, w := range sim.Writes {
+				if m := s.maxAssigned[s.acg.index[w.Key]]; m > top {
+					top = m
+				}
+			}
+			if maxRead > top {
+				top = maxRead
+			}
+			s.assign(id, top+1)
+			continue
+		}
+		s.abortTx(id)
+	}
+
+	// Lines 25–35: hand the remaining (unsorted) writes increasing,
+	// previously unused numbers, ascending id order ("determined
+	// according to their subscripts", rule 2 of §IV-C).
+	writeSeq := initialSeq
+	if maxRead > 0 {
+		writeSeq = maxRead + 1
+	}
+	for _, id := range writes {
+		if s.seqOf[id] != 0 {
+			continue
+		}
+		for s.used[j] != nil && s.used[j][writeSeq] {
+			writeSeq++
+		}
+		s.assign(id, writeSeq)
+	}
+}
+
+// safetySweep is a conservative final pass that upgrades the heuristic
+// guarantees of Algorithm 2 into strict serializability (DESIGN.md §7):
+// on every address, each committed write must carry a strictly larger
+// sequence number than every committed read of a *different* transaction,
+// and committed writes must carry pairwise-distinct numbers. Cross-address
+// reassignments (the line-17 bump and the §IV-D reordering) can violate
+// these in rare interleavings.
+//
+// Victims are chosen by greedy cover over the violating pairs — the same
+// flavor of victim selection the CG baseline's cycle removal uses — because
+// one reassigned reader frequently conflicts with many writers, and
+// aborting the reader alone resolves all of those pairs at once. Aborting
+// can only remove constraints, never add them, so the loop terminates with
+// a violation-free schedule, deterministically (fixed pair order, (count,
+// id) tie-breaks).
+func (s *sorter) safetySweep() {
+	type pair struct{ a, b types.TxID }
+	var pairs []pair
+
+	for j := range s.acg.Addrs {
+		addr := &s.acg.Addrs[j]
+		readers := make([]types.TxID, 0, len(addr.Reads))
+		for _, id := range addr.Reads {
+			if !s.aborted[id] {
+				readers = append(readers, id)
+			}
+		}
+		writers := make([]types.TxID, 0, len(addr.Writes))
+		for _, id := range addr.Writes {
+			if !s.aborted[id] {
+				writers = append(writers, id)
+			}
+		}
+		sortBySeqID(readers, s.seqOf)
+		sortBySeqID(writers, s.seqOf)
+
+		// Write-write: equal numbers collide. Every pair within an
+		// equal-seq run is violating (pairing only neighbors would let a
+		// middle-victim cover leave the outer two still colliding).
+		for i := 0; i < len(writers); {
+			j := i + 1
+			for j < len(writers) && s.seqOf[writers[j]] == s.seqOf[writers[i]] {
+				j++
+			}
+			for a := i; a < j; a++ {
+				for b := a + 1; b < j; b++ {
+					pairs = append(pairs, pair{writers[a], writers[b]})
+				}
+			}
+			i = j
+		}
+		// Read-write: a write at or below a different transaction's read
+		// must follow it in some serial order — impossible without
+		// re-execution, so the pair is violating. readers is sorted by
+		// seq: for each write, everything from the first reader with
+		// seq >= w.seq onward conflicts.
+		for _, w := range writers {
+			wq := s.seqOf[w]
+			lo, hi := 0, len(readers)
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if s.seqOf[readers[mid]] < wq {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			for _, r := range readers[lo:] {
+				if r != w {
+					pairs = append(pairs, pair{w, r})
+				}
+			}
+		}
+	}
+
+	// Greedy vertex cover: abort the transaction on the most violating
+	// pairs until none remain. Counts live in a dense slice (epoch-local
+	// ids) and update decrementally — rebuilding a map per round
+	// dominated the whole scheduler under high skew.
+	var maxID types.TxID
+	for _, p := range pairs {
+		if p.a > maxID {
+			maxID = p.a
+		}
+		if p.b > maxID {
+			maxID = p.b
+		}
+	}
+	count := make([]int, maxID+1)
+	for _, p := range pairs {
+		count[p.a]++
+		count[p.b]++
+	}
+	for len(pairs) > 0 {
+		victim := types.TxID(0)
+		best := 0
+		for id, c := range count {
+			if c > best || (c == best && c > 0 && types.TxID(id) > victim) {
+				victim, best = types.TxID(id), c
+			}
+		}
+		s.abortTx(victim)
+		kept := pairs[:0]
+		for _, p := range pairs {
+			if p.a == victim || p.b == victim {
+				count[p.a]--
+				count[p.b]--
+				continue
+			}
+			kept = append(kept, p)
+		}
+		pairs = kept
+	}
+}
+
+// sortBySeqID sorts ids in ascending (sequence, id) order in place.
+func sortBySeqID(ids []types.TxID, seqOf map[types.TxID]types.Seq) {
+	// Insertion sort: the slices here are per-address write lists, which
+	// are short except under extreme skew, and the input is already
+	// nearly sorted by id.
+	for i := 1; i < len(ids); i++ {
+		for k := i; k > 0; k-- {
+			a, b := ids[k-1], ids[k]
+			qa, qb := seqOf[a], seqOf[b]
+			if qa < qb || (qa == qb && a < b) {
+				break
+			}
+			ids[k-1], ids[k] = ids[k], ids[k-1]
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package crypto
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/nezha-dag/nezha/internal/types"
+)
+
+func TestKeyDeterministicFromSeed(t *testing.T) {
+	var seed [32]byte
+	seed[0] = 7
+	k1, k2 := KeyFromSeed(seed), KeyFromSeed(seed)
+	if k1.Address() != k2.Address() {
+		t.Fatal("same seed yields different addresses")
+	}
+	seed[0] = 8
+	if KeyFromSeed(seed).Address() == k1.Address() {
+		t.Fatal("different seeds collided")
+	}
+	if KeyForAccount(1).Address() == KeyForAccount(2).Address() {
+		t.Fatal("account keys collided")
+	}
+	if KeyForAccount(1).Address() != KeyForAccount(1).Address() {
+		t.Fatal("account key not deterministic")
+	}
+}
+
+func signedTx(k *Key) *types.Transaction {
+	tx := &types.Transaction{
+		From: k.Address(), To: types.AddressFromUint64(9),
+		Nonce: 1, Value: 5, Gas: 1000, Payload: []byte{1, 2, 3},
+	}
+	k.SignTx(tx)
+	return tx
+}
+
+func TestSignAndVerify(t *testing.T) {
+	k := KeyForAccount(42)
+	tx := signedTx(k)
+	if err := VerifyTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	if len(tx.Sig) != SigBytes {
+		t.Fatalf("sig blob %d bytes", len(tx.Sig))
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	k := KeyForAccount(1)
+
+	// Content tampering: any signed field change invalidates.
+	mutations := []func(*types.Transaction){
+		func(tx *types.Transaction) { tx.To = types.AddressFromUint64(99) },
+		func(tx *types.Transaction) { tx.Nonce++ },
+		func(tx *types.Transaction) { tx.Value++ },
+		func(tx *types.Transaction) { tx.Gas++ },
+		func(tx *types.Transaction) { tx.Payload[0] ^= 1 },
+	}
+	for i, mutate := range mutations {
+		tx := signedTx(k)
+		mutate(tx)
+		if err := VerifyTx(tx); !errors.Is(err, ErrBadSignature) {
+			t.Fatalf("mutation %d: err = %v", i, err)
+		}
+	}
+
+	// Signature bit flip.
+	tx := signedTx(k)
+	tx.Sig[SigBytes-1] ^= 1
+	if err := VerifyTx(tx); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("flipped sig: %v", err)
+	}
+
+	// Truncated blob.
+	tx = signedTx(k)
+	tx.Sig = tx.Sig[:10]
+	if err := VerifyTx(tx); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("short sig: %v", err)
+	}
+
+	// Wrong sender: a valid signature from a key that does not own From.
+	other := KeyForAccount(2)
+	tx = signedTx(k)
+	other.SignTx(tx) // signs honestly, but From is k's address
+	if err := VerifyTx(tx); !errors.Is(err, ErrWrongSender) {
+		t.Fatalf("wrong sender: %v", err)
+	}
+}
+
+// TestSignVerifyQuick: signing then verifying succeeds for arbitrary
+// payloads and account ids.
+func TestSignVerifyQuick(t *testing.T) {
+	f := func(acct uint64, payload []byte, nonce uint64) bool {
+		k := KeyForAccount(acct)
+		tx := &types.Transaction{From: k.Address(), Nonce: nonce, Payload: payload}
+		k.SignTx(tx)
+		return VerifyTx(tx) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

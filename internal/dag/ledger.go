@@ -1,0 +1,410 @@
+// Package dag implements the OHIE parallel-chain ledger [Yu et al.,
+// S&P'20], the DAG-based blockchain the paper builds on (§V): k Nakamoto
+// chains growing in parallel, hash-based chain assignment, and the
+// (Rank, ChainID) total order over blocks. Epochs — the unit of state
+// transition in the paper's processing workflow — are the block sets at
+// equal height across all chains.
+//
+// Concurrent miners fork chains, so the ledger keeps every valid candidate
+// block and runs Nakamoto fork choice per chain, exactly as OHIE does:
+// the canonical chain is the longest one descending from the finalized
+// prefix, with ties broken toward the smaller tip hash (a deterministic
+// refinement of first-seen that makes independent nodes converge faster).
+// The finalization watermark freezes the canonical prefix once the node has
+// processed it; deeper reorgs are rejected — the simulation analogue of
+// OHIE's probabilistic confirmation depth (a block buried depth-d deep
+// reorgs with exponentially small probability).
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/nezha-dag/nezha/internal/types"
+)
+
+// Ledger errors.
+var (
+	// ErrUnknownParent is returned when a committed tip is not in the
+	// ledger yet; callers should buffer the block and retry after its
+	// ancestry arrives.
+	ErrUnknownParent = errors.New("dag: unknown parent block")
+	// ErrBelowFinal is returned for blocks at or below the finalization
+	// watermark — forks that arrive too late to matter.
+	ErrBelowFinal = errors.New("dag: block height at or below finalized epoch")
+	// ErrBadBlock is returned for structurally invalid blocks.
+	ErrBadBlock = errors.New("dag: invalid block")
+	// ErrDuplicateBlock is returned when the block is already present.
+	ErrDuplicateBlock = errors.New("dag: duplicate block")
+)
+
+// Ledger is the OHIE block DAG. It is safe for concurrent use.
+type Ledger struct {
+	mu     sync.RWMutex
+	k      int
+	blocks map[types.Hash]*types.Block
+	// children indexes candidate blocks by parent hash, each list in
+	// ascending hash order for deterministic traversal.
+	children map[types.Hash][]*types.Block
+	// canonical[c] caches the current canonical chain of c.
+	canonical [][]*types.Block
+	// finalized is the epoch watermark: the canonical prefix up to this
+	// height is frozen and competing candidates at or below it are
+	// rejected.
+	finalized uint64
+}
+
+// NewLedger creates a ledger with k parallel chains, each rooted at a
+// deterministic genesis block (Rank 0, NextRank 1, as in OHIE).
+func NewLedger(k int) (*Ledger, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("dag: need at least one chain, got %d", k)
+	}
+	l := &Ledger{
+		k:         k,
+		blocks:    make(map[types.Hash]*types.Block),
+		children:  make(map[types.Hash][]*types.Block),
+		canonical: make([][]*types.Block, k),
+	}
+	for c := 0; c < k; c++ {
+		g := GenesisBlock(uint32(c))
+		l.blocks[g.Hash()] = g
+		l.canonical[c] = []*types.Block{g}
+	}
+	return l, nil
+}
+
+// GenesisBlock returns the deterministic genesis block of a chain. Genesis
+// blocks are constants agreed upon out of band, so the hash-assignment rule
+// does not apply to them.
+func GenesisBlock(chain uint32) *types.Block {
+	return &types.Block{
+		Header: types.BlockHeader{
+			TipsRoot: types.HashConcat([]byte("nezha/genesis"), []byte{
+				byte(chain >> 24), byte(chain >> 16), byte(chain >> 8), byte(chain),
+			}),
+			ChainID:  chain,
+			Height:   0,
+			Rank:     0,
+			NextRank: 1,
+		},
+	}
+}
+
+// Chains returns k, the number of parallel chains (the paper's block
+// concurrency ω).
+func (l *Ledger) Chains() int { return l.k }
+
+// Tips returns the canonical tip hash of every chain, in chain order — the
+// set a miner must commit to.
+func (l *Ledger) Tips() []types.Hash {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	tips := make([]types.Hash, l.k)
+	for c := 0; c < l.k; c++ {
+		tips[c] = l.canonical[c][len(l.canonical[c])-1].Hash()
+	}
+	return tips
+}
+
+// TipBlocks returns the canonical tip block of every chain.
+func (l *Ledger) TipBlocks() []*types.Block {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	tips := make([]*types.Block, l.k)
+	for c := 0; c < l.k; c++ {
+		tips[c] = l.canonical[c][len(l.canonical[c])-1]
+	}
+	return tips
+}
+
+// Block returns a block by hash.
+func (l *Ledger) Block(h types.Hash) (*types.Block, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	b, ok := l.blocks[h]
+	return b, ok
+}
+
+// DeriveFields computes the hash-derived header fields of a freshly mined
+// block — chain assignment, parent, height, rank, next-rank — from its
+// committed tips, per OHIE's rules. It does not mutate the ledger. The
+// block's Tips must reference blocks known to the ledger.
+func (l *Ledger) DeriveFields(b *types.Block) error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.deriveLocked(b)
+}
+
+func (l *Ledger) deriveLocked(b *types.Block) error {
+	if len(b.Tips) != l.k {
+		return fmt.Errorf("%w: %d tips for %d chains", ErrBadBlock, len(b.Tips), l.k)
+	}
+	if types.TipsCommitment(b.Tips) != b.Header.TipsRoot {
+		return fmt.Errorf("%w: tips do not match TipsRoot", ErrBadBlock)
+	}
+	chain := b.AssignedChain(l.k)
+	parent, ok := l.blocks[b.Tips[chain]]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownParent, b.Tips[chain].Short())
+	}
+	if parent.Header.ChainID != chain {
+		return fmt.Errorf("%w: committed tip of chain %d lies on chain %d", ErrBadBlock, chain, parent.Header.ChainID)
+	}
+	// OHIE rank rule: rank = parent.nextRank; nextRank = max(rank+1,
+	// max nextRank among all committed tips).
+	rank := parent.Header.NextRank
+	next := rank + 1
+	for _, tipHash := range b.Tips {
+		tip, ok := l.blocks[tipHash]
+		if !ok {
+			return fmt.Errorf("%w: committed tip %s", ErrUnknownParent, tipHash.Short())
+		}
+		if tip.Header.NextRank > next {
+			next = tip.Header.NextRank
+		}
+	}
+	b.Header.ChainID = chain
+	b.Header.ParentHash = parent.Hash()
+	b.Header.Height = parent.Header.Height + 1
+	b.Header.Rank = rank
+	b.Header.NextRank = next
+	return nil
+}
+
+// Add validates a block and registers it as a candidate for its (chain,
+// height) slot, re-resolving the fork choice. Derived header fields are
+// recomputed unconditionally (they are not covered by the hash, so a
+// malicious sender could have filled them arbitrarily).
+func (l *Ledger) Add(b *types.Block) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, dup := l.blocks[b.Hash()]; dup {
+		return ErrDuplicateBlock
+	}
+	if err := l.deriveLocked(b); err != nil {
+		return err
+	}
+	if b.Header.Height <= l.finalized {
+		return fmt.Errorf("%w: height %d, finalized %d", ErrBelowFinal, b.Header.Height, l.finalized)
+	}
+	if types.ComputeTxRoot(b.Txs) != b.Header.TxRoot {
+		return fmt.Errorf("%w: tx root mismatch", ErrBadBlock)
+	}
+	l.blocks[b.Hash()] = b
+	kids := append(l.children[b.Header.ParentHash], b)
+	sort.Slice(kids, func(i, j int) bool { return lessHash(kids[i].Hash(), kids[j].Hash()) })
+	l.children[b.Header.ParentHash] = kids
+	l.recomputeCanonicalLocked(b.Header.ChainID)
+	return nil
+}
+
+// recomputeCanonicalLocked runs fork choice for chain c above the frozen
+// prefix: the branch with the greatest depth wins (Nakamoto longest-chain),
+// and equal-depth branches are decided by the smaller block hash *at the
+// fork point*. Deciding ties at the divergence rather than at the tip makes
+// the rule a monotone pure function of the block set: the moment two nodes
+// have exchanged the competing fork-point blocks they agree on the branch
+// and all miners extend the same one, so balanced forks cannot persist.
+func (l *Ledger) recomputeCanonicalLocked(c uint32) {
+	chain := l.canonical[c]
+	frozenLen := l.finalized + 1
+	if frozenLen > uint64(len(chain)) {
+		frozenLen = uint64(len(chain))
+	}
+	chain = chain[:frozenLen]
+
+	// Subtree depth of every block above the frozen tip, by iterative
+	// post-order accumulation (chains are short; this is O(blocks)).
+	root := chain[len(chain)-1]
+	depth := map[types.Hash]uint64{}
+	var order []*types.Block
+	stack := []*types.Block{root}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, b)
+		stack = append(stack, l.children[b.Hash()]...)
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		b := order[i]
+		best := uint64(0)
+		for _, kid := range l.children[b.Hash()] {
+			if d := depth[kid.Hash()] + 1; d > best {
+				best = d
+			}
+		}
+		depth[b.Hash()] = best
+	}
+
+	// Walk down: deepest child wins, ties to the smallest hash (children
+	// are stored hash-sorted, so the first maximal child is the winner).
+	for at := root; ; {
+		var next *types.Block
+		var bestDepth uint64
+		for _, kid := range l.children[at.Hash()] {
+			if next == nil || depth[kid.Hash()] > bestDepth {
+				next, bestDepth = kid, depth[kid.Hash()]
+			}
+		}
+		if next == nil {
+			break
+		}
+		chain = append(chain, next)
+		at = next
+	}
+	l.canonical[c] = chain
+}
+
+func lessHash(a, b types.Hash) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// Restore loads previously-validated blocks from the node's own storage
+// without re-deriving header fields: a persisted block's committed tips may
+// reference fork candidates that lost and were never persisted, so the
+// full Add path cannot re-validate them. Blocks must arrive parent-first
+// (the persistence layer stores canonical chains in epoch order). The
+// watermark is applied after the canonical chains are rebuilt.
+func (l *Ledger) Restore(blocks []*types.Block, finalized uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	touched := map[uint32]bool{}
+	for _, b := range blocks {
+		if _, dup := l.blocks[b.Hash()]; dup {
+			continue
+		}
+		if _, ok := l.blocks[b.Header.ParentHash]; !ok {
+			return fmt.Errorf("%w: restore out of order at %s", ErrUnknownParent, b.Hash().Short())
+		}
+		l.blocks[b.Hash()] = b
+		kids := append(l.children[b.Header.ParentHash], b)
+		sort.Slice(kids, func(i, j int) bool { return lessHash(kids[i].Hash(), kids[j].Hash()) })
+		l.children[b.Header.ParentHash] = kids
+		touched[b.Header.ChainID] = true
+	}
+	for c := range touched {
+		l.recomputeCanonicalLocked(c)
+	}
+	if finalized > l.finalized {
+		l.finalized = finalized
+	}
+	return nil
+}
+
+// Finalize raises the watermark: epochs at or below e are immutable and
+// late fork candidates for them are rejected. Nodes call it after
+// processing an epoch.
+func (l *Ledger) Finalize(e uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e > l.finalized {
+		l.finalized = e
+	}
+}
+
+// Finalized returns the current watermark.
+func (l *Ledger) Finalized() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.finalized
+}
+
+// Height returns the canonical height of a chain's tip.
+func (l *Ledger) Height(chain uint32) uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return uint64(len(l.canonical[chain]) - 1)
+}
+
+// EpochReady reports whether epoch e is processable under the given
+// confirmation depth: every canonical chain must reach height e+depth.
+// Epoch 0 is the genesis epoch and is never processed.
+func (l *Ledger) EpochReady(e uint64, depth uint64) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for c := 0; c < l.k; c++ {
+		if uint64(len(l.canonical[c]))-1 < e+depth {
+			return false
+		}
+	}
+	return true
+}
+
+// EpochBlocks returns epoch e's canonical blocks in the OHIE total order
+// (Rank, ChainID), or false when some chain has not reached height e yet.
+func (l *Ledger) EpochBlocks(e uint64) ([]*types.Block, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	blocks := make([]*types.Block, 0, l.k)
+	for c := 0; c < l.k; c++ {
+		if uint64(len(l.canonical[c]))-1 < e {
+			return nil, false
+		}
+		blocks = append(blocks, l.canonical[c][e])
+	}
+	sortBlocks(blocks)
+	return blocks, true
+}
+
+// BlocksAbove returns every canonical block with height strictly above h,
+// ordered by height then chain — parents always precede children, so a
+// receiver can replay the batch directly into its own ledger. This is the
+// payload of the block-synchronization protocol.
+func (l *Ledger) BlocksAbove(h uint64) []*types.Block {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []*types.Block
+	maxLen := 0
+	for c := 0; c < l.k; c++ {
+		if len(l.canonical[c]) > maxLen {
+			maxLen = len(l.canonical[c])
+		}
+	}
+	for height := h + 1; height < uint64(maxLen); height++ {
+		for c := 0; c < l.k; c++ {
+			if height < uint64(len(l.canonical[c])) {
+				out = append(out, l.canonical[c][height])
+			}
+		}
+	}
+	return out
+}
+
+// TotalOrder returns every non-genesis canonical block up to and including
+// maxEpoch in the OHIE total order.
+func (l *Ledger) TotalOrder(maxEpoch uint64) []*types.Block {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []*types.Block
+	for c := 0; c < l.k; c++ {
+		chain := l.canonical[c]
+		for h := uint64(1); h < uint64(len(chain)) && h <= maxEpoch; h++ {
+			out = append(out, chain[h])
+		}
+	}
+	sortBlocks(out)
+	return out
+}
+
+// sortBlocks orders blocks by (Rank, ChainID), OHIE's total order; the
+// hash is a final tie-break for full determinism.
+func sortBlocks(blocks []*types.Block) {
+	sort.Slice(blocks, func(i, j int) bool {
+		a, b := blocks[i], blocks[j]
+		if a.Header.Rank != b.Header.Rank {
+			return a.Header.Rank < b.Header.Rank
+		}
+		if a.Header.ChainID != b.Header.ChainID {
+			return a.Header.ChainID < b.Header.ChainID
+		}
+		return lessHash(a.Hash(), b.Hash())
+	})
+}

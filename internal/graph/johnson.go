@@ -1,0 +1,239 @@
+package graph
+
+import "errors"
+
+// ErrTooManyCycles is returned by ElementaryCycles when the enumeration
+// exceeds the caller's limit. The paper observes exactly this failure mode
+// in the CG baseline: at skew ≥ 0.8 the number of elementary circuits grows
+// so fast that "the CG process fails due to being out of memory" (§VI-B).
+// A limit lets the harness reproduce the collapse without taking the
+// benchmark machine down with it.
+var ErrTooManyCycles = errors.New("graph: elementary cycle limit exceeded")
+
+// ElementaryCycles enumerates the elementary circuits of the graph with
+// Johnson's algorithm, invoking fn once per cycle with the vertex sequence
+// (the slice is reused; callers must copy if they retain it). Enumeration
+// stops early with ErrTooManyCycles once more than limit cycles have been
+// produced; limit <= 0 means unlimited.
+//
+// Complexity is O((V+E)(c+1)) for c circuits — the cost the paper charges
+// against Fabric++/FabricSharp-style conflict graphs.
+func (g *Directed) ElementaryCycles(limit int, fn func(cycle []int)) error {
+	j := &johnson{g: g, limit: limit, fn: fn}
+	return j.run()
+}
+
+// CountCycles returns the number of elementary circuits, stopping at limit.
+func (g *Directed) CountCycles(limit int) (int, error) {
+	count := 0
+	err := g.ElementaryCycles(limit, func([]int) { count++ })
+	return count, err
+}
+
+type johnson struct {
+	g     *Directed
+	limit int
+	fn    func([]int)
+
+	blocked []bool
+	bmap    []map[int]bool // B-lists: bmap[w] holds vertices to unblock when w unblocks
+	stack   []int
+	found   int
+
+	// sub is the adjacency of the current SCC-induced subgraph restricted
+	// to vertices >= s.
+	sub   [][]int
+	inSCC []bool
+}
+
+func (j *johnson) run() error {
+	n := j.g.n
+	j.blocked = make([]bool, n)
+	j.bmap = make([]map[int]bool, n)
+	j.inSCC = make([]bool, n)
+	j.sub = make([][]int, n)
+
+	for s := 0; s < n; s++ {
+		comp := j.leastSCC(s)
+		if comp == nil {
+			continue
+		}
+		for _, v := range comp {
+			j.inSCC[v] = true
+		}
+		// Build the induced subgraph once per start vertex.
+		for _, v := range comp {
+			outs := j.sub[v][:0]
+			for _, w := range j.g.adj[v] {
+				if w >= s && j.inSCC[w] {
+					outs = append(outs, w)
+				}
+			}
+			j.sub[v] = outs
+			j.blocked[v] = false
+			j.bmap[v] = nil
+		}
+		if _, err := j.circuit(s, s); err != nil {
+			return err
+		}
+		for _, v := range comp {
+			j.inSCC[v] = false
+		}
+	}
+	return nil
+}
+
+// leastSCC finds the strongly connected component, within the subgraph
+// induced by vertices >= s, that contains s and has a cycle through s.
+// Returns nil when s participates in no cycle among the remaining vertices.
+func (j *johnson) leastSCC(s int) []int {
+	// Run Tarjan on the subgraph of vertices >= s and return s's component
+	// if it is nontrivial (or s has a self-loop).
+	restricted := restrictedGraph{g: j.g, min: s}
+	comp := restricted.sccOf(s)
+	if len(comp) > 1 {
+		return comp
+	}
+	if j.g.HasEdge(s, s) {
+		return comp
+	}
+	return nil
+}
+
+// circuit is Johnson's CIRCUIT procedure; it reports whether an elementary
+// circuit through s was found below v.
+func (j *johnson) circuit(v, s int) (bool, error) {
+	foundCycle := false
+	j.stack = append(j.stack, v)
+	j.blocked[v] = true
+
+	for _, w := range j.sub[v] {
+		if w == s {
+			j.found++
+			if j.fn != nil {
+				j.fn(j.stack)
+			}
+			foundCycle = true
+			if j.limit > 0 && j.found > j.limit {
+				return true, ErrTooManyCycles
+			}
+		} else if !j.blocked[w] {
+			childFound, err := j.circuit(w, s)
+			if err != nil {
+				return foundCycle, err
+			}
+			if childFound {
+				foundCycle = true
+			}
+		}
+	}
+
+	if foundCycle {
+		j.unblock(v)
+	} else {
+		for _, w := range j.sub[v] {
+			if j.bmap[w] == nil {
+				j.bmap[w] = make(map[int]bool)
+			}
+			j.bmap[w][v] = true
+		}
+	}
+	j.stack = j.stack[:len(j.stack)-1]
+	return foundCycle, nil
+}
+
+func (j *johnson) unblock(v int) {
+	j.blocked[v] = false
+	for w := range j.bmap[v] {
+		delete(j.bmap[v], w)
+		if j.blocked[w] {
+			j.unblock(w)
+		}
+	}
+}
+
+// restrictedGraph is a view of g limited to vertices >= min; it exists so
+// that leastSCC can run Tarjan without copying the graph per start vertex.
+type restrictedGraph struct {
+	g   *Directed
+	min int
+}
+
+// sccOf returns the strongly connected component containing root within the
+// restricted view, using the same iterative Tarjan scheme as Directed.SCCs.
+func (r restrictedGraph) sccOf(root int) []int {
+	const unvisited = -1
+	n := r.g.n
+	index := make([]int, n)
+	lowlink := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		counter int
+		stack   []int
+	)
+	type frame struct {
+		v  int
+		ei int
+	}
+	call := []frame{{v: root}}
+	index[root] = counter
+	lowlink[root] = counter
+	counter++
+	stack = append(stack, root)
+	onStack[root] = true
+
+	var result []int
+	for len(call) > 0 {
+		f := &call[len(call)-1]
+		v := f.v
+		if f.ei < len(r.g.adj[v]) {
+			w := r.g.adj[v][f.ei]
+			f.ei++
+			if w < r.min {
+				continue
+			}
+			if index[w] == unvisited {
+				index[w] = counter
+				lowlink[w] = counter
+				counter++
+				stack = append(stack, w)
+				onStack[w] = true
+				call = append(call, frame{v: w})
+			} else if onStack[w] && index[w] < lowlink[v] {
+				lowlink[v] = index[w]
+			}
+			continue
+		}
+		call = call[:len(call)-1]
+		if len(call) > 0 {
+			parent := call[len(call)-1].v
+			if lowlink[v] < lowlink[parent] {
+				lowlink[parent] = lowlink[v]
+			}
+		}
+		if lowlink[v] == index[v] {
+			var comp []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			for _, u := range comp {
+				if u == root {
+					result = comp
+				}
+			}
+			if result != nil {
+				return result
+			}
+		}
+	}
+	return result
+}

@@ -1,0 +1,101 @@
+package graph
+
+// SCCs returns the strongly connected components of the graph using an
+// iterative formulation of Tarjan's algorithm (the recursive textbook form
+// overflows the stack on the adversarial high-skew workloads of the paper's
+// Fig. 9, where one component can span thousands of transactions).
+//
+// Components are emitted in reverse topological order (Tarjan's natural
+// output); vertices inside each component are sorted ascending for
+// determinism by the caller if needed — the raw pop order is preserved here
+// because Johnson's algorithm does not care.
+func (g *Directed) SCCs() [][]int {
+	const unvisited = -1
+
+	index := make([]int, g.n)
+	lowlink := make([]int, g.n)
+	onStack := make([]bool, g.n)
+	for i := range index {
+		index[i] = unvisited
+	}
+
+	var (
+		counter int
+		stack   []int // Tarjan's component stack
+		sccs    [][]int
+	)
+
+	// frame emulates the recursion: v is the vertex, ei the index of the
+	// next out-edge to explore.
+	type frame struct {
+		v  int
+		ei int
+	}
+
+	for root := 0; root < g.n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		call := []frame{{v: root}}
+		index[root] = counter
+		lowlink[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			v := f.v
+			if f.ei < len(g.adj[v]) {
+				w := g.adj[v][f.ei]
+				f.ei++
+				if index[w] == unvisited {
+					index[w] = counter
+					lowlink[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{v: w})
+				} else if onStack[w] && index[w] < lowlink[v] {
+					lowlink[v] = index[w]
+				}
+				continue
+			}
+			// All edges of v explored: close the frame.
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				parent := call[len(call)-1].v
+				if lowlink[v] < lowlink[parent] {
+					lowlink[parent] = lowlink[v]
+				}
+			}
+			if lowlink[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, comp)
+			}
+		}
+	}
+	return sccs
+}
+
+// NontrivialSCCs returns only the components that can contain cycles:
+// components with more than one vertex, plus single vertices with a
+// self-loop.
+func (g *Directed) NontrivialSCCs() [][]int {
+	var out [][]int
+	for _, comp := range g.SCCs() {
+		if len(comp) > 1 || g.HasEdge(comp[0], comp[0]) {
+			out = append(out, comp)
+		}
+	}
+	return out
+}

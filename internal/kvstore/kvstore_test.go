@@ -1,0 +1,487 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// openStores returns one of each backend, named, for table-driven tests.
+func openStores(t *testing.T) map[string]Store {
+	t.Helper()
+	lsm, err := OpenLSM(t.TempDir(), LSMOptions{MemtableBytes: 1 << 12, CompactAt: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{"memory": NewMemory(), "lsm": lsm}
+}
+
+func TestStoreBasicOps(t *testing.T) {
+	for name, s := range openStores(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			if _, found, err := s.Get([]byte("missing")); err != nil || found {
+				t.Fatalf("missing key: found=%v err=%v", found, err)
+			}
+			if err := s.Put([]byte("k1"), []byte("v1")); err != nil {
+				t.Fatal(err)
+			}
+			v, found, err := s.Get([]byte("k1"))
+			if err != nil || !found || string(v) != "v1" {
+				t.Fatalf("get k1 = %q, %v, %v", v, found, err)
+			}
+			// Overwrite.
+			if err := s.Put([]byte("k1"), []byte("v2")); err != nil {
+				t.Fatal(err)
+			}
+			v, _, _ = s.Get([]byte("k1"))
+			if string(v) != "v2" {
+				t.Fatalf("overwrite: %q", v)
+			}
+			// Delete, then delete again (idempotent).
+			if err := s.Delete([]byte("k1")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Delete([]byte("k1")); err != nil {
+				t.Fatal(err)
+			}
+			if _, found, _ := s.Get([]byte("k1")); found {
+				t.Fatal("deleted key still present")
+			}
+			// Empty value is a valid value, distinct from absent.
+			if err := s.Put([]byte("empty"), nil); err != nil {
+				t.Fatal(err)
+			}
+			v, found, _ = s.Get([]byte("empty"))
+			if !found || len(v) != 0 {
+				t.Fatalf("empty value: %q, %v", v, found)
+			}
+		})
+	}
+}
+
+func TestStoreBatch(t *testing.T) {
+	for name, s := range openStores(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			b := &Batch{}
+			b.Put([]byte("a"), []byte("1"))
+			b.Put([]byte("b"), []byte("2"))
+			b.Put([]byte("a"), []byte("3")) // later op wins
+			b.Delete([]byte("b"))
+			if b.Len() != 4 {
+				t.Fatalf("batch len %d", b.Len())
+			}
+			if err := s.Apply(b); err != nil {
+				t.Fatal(err)
+			}
+			v, _, _ := s.Get([]byte("a"))
+			if string(v) != "3" {
+				t.Fatalf("a = %q", v)
+			}
+			if _, found, _ := s.Get([]byte("b")); found {
+				t.Fatal("b survived batch delete")
+			}
+			b.Reset()
+			if b.Len() != 0 {
+				t.Fatal("reset failed")
+			}
+		})
+	}
+}
+
+func TestStoreIter(t *testing.T) {
+	for name, s := range openStores(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			for i := 9; i >= 0; i-- { // insert out of order
+				if err := s.Put([]byte(fmt.Sprintf("k%02d", i)), []byte{byte(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.Delete([]byte("k05")); err != nil {
+				t.Fatal(err)
+			}
+			var got []string
+			err := s.Iter([]byte("k02"), []byte("k08"), func(k, v []byte) bool {
+				got = append(got, string(k))
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []string{"k02", "k03", "k04", "k06", "k07"}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("iter = %v, want %v", got, want)
+			}
+			// Early stop.
+			count := 0
+			if err := s.Iter(nil, nil, func(k, v []byte) bool { count++; return count < 3 }); err != nil {
+				t.Fatal(err)
+			}
+			if count != 3 {
+				t.Fatalf("early stop visited %d", count)
+			}
+		})
+	}
+}
+
+func TestStoreClosedErrors(t *testing.T) {
+	for name, s := range openStores(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := s.Get([]byte("x")); err != ErrClosed {
+				t.Fatalf("Get after close: %v", err)
+			}
+			if err := s.Put([]byte("x"), nil); err != ErrClosed {
+				t.Fatalf("Put after close: %v", err)
+			}
+		})
+	}
+}
+
+func TestLSMFlushAndReadBack(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenLSM(dir, LSMOptions{MemtableBytes: 1 << 10, CompactAt: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Write enough to force several flushes.
+	for i := 0; i < 500; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("key-%04d", i)), bytes.Repeat([]byte{byte(i)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.TableCount() == 0 {
+		t.Fatal("no SSTable was flushed")
+	}
+	for i := 0; i < 500; i++ {
+		v, found, err := s.Get([]byte(fmt.Sprintf("key-%04d", i)))
+		if err != nil || !found {
+			t.Fatalf("key %d missing after flush: %v", i, err)
+		}
+		if !bytes.Equal(v, bytes.Repeat([]byte{byte(i)}, 32)) {
+			t.Fatalf("key %d value corrupt", i)
+		}
+	}
+}
+
+func TestLSMCompactionPreservesData(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenLSM(dir, LSMOptions{MemtableBytes: 1 << 10, CompactAt: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	expect := make(map[string]string)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("k%03d", rng.Intn(300))
+		if rng.Intn(5) == 0 {
+			delete(expect, k)
+			if err := s.Delete([]byte(k)); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		v := fmt.Sprintf("v%d", i)
+		expect[k] = v
+		if err := s.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.TableCount() >= 6 {
+		t.Fatalf("compaction never ran: %d tables", s.TableCount())
+	}
+	for k, v := range expect {
+		got, found, err := s.Get([]byte(k))
+		if err != nil || !found || string(got) != v {
+			t.Fatalf("key %s = %q,%v,%v want %q", k, got, found, err, v)
+		}
+	}
+	// And via iteration.
+	seen := make(map[string]string)
+	if err := s.Iter(nil, nil, func(k, v []byte) bool {
+		seen[string(k)] = string(v)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(expect) {
+		t.Fatalf("iter saw %d keys, want %d", len(seen), len(expect))
+	}
+}
+
+func TestLSMRecoveryFromWAL(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenLSM(dir, DefaultLSMOptions()) // huge memtable: nothing flushes
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete([]byte("k50")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: close without flush, reopen, everything must be
+	// back via WAL replay.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenLSM(dir, DefaultLSMOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("k%d", i)
+		v, found, err := s2.Get([]byte(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 50 {
+			if found {
+				t.Fatal("tombstone lost in recovery")
+			}
+			continue
+		}
+		if !found || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("%s = %q,%v after recovery", k, v, found)
+		}
+	}
+}
+
+func TestLSMRecoveryTornWAL(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenLSM(dir, DefaultLSMOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last few bytes off the WAL, as a crash mid-write would.
+	walPath := filepath.Join(dir, "wal.log")
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenLSM(dir, DefaultLSMOptions())
+	if err != nil {
+		t.Fatalf("torn WAL broke recovery: %v", err)
+	}
+	defer s2.Close()
+	// All but the torn record must be intact.
+	for i := 0; i < 49; i++ {
+		if _, found, _ := s2.Get([]byte(fmt.Sprintf("k%02d", i))); !found {
+			t.Fatalf("k%02d lost", i)
+		}
+	}
+	if _, found, _ := s2.Get([]byte("k49")); found {
+		t.Fatal("torn record resurrected")
+	}
+}
+
+func TestLSMPersistsAcrossFlushedRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenLSM(dir, LSMOptions{MemtableBytes: 1 << 10, CompactAt: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenLSM(dir, LSMOptions{MemtableBytes: 1 << 10, CompactAt: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i := 0; i < 300; i++ {
+		v, found, err := s2.Get([]byte(fmt.Sprintf("k%03d", i)))
+		if err != nil || !found || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("k%03d = %q,%v,%v", i, v, found, err)
+		}
+	}
+}
+
+func TestLSMOptionsValidation(t *testing.T) {
+	if _, err := OpenLSM(t.TempDir(), LSMOptions{}); err == nil {
+		t.Fatal("zero options accepted")
+	}
+}
+
+// TestLSMMatchesMemoryModel drives both backends with an identical random
+// operation stream and cross-checks every read — the LSM store must be
+// observationally equivalent to the trivial map.
+func TestLSMMatchesMemoryModel(t *testing.T) {
+	lsm, err := OpenLSM(t.TempDir(), LSMOptions{MemtableBytes: 1 << 9, CompactAt: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lsm.Close()
+	mem := NewMemory()
+	defer mem.Close()
+
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 5000; i++ {
+		k := []byte(fmt.Sprintf("key%03d", rng.Intn(200)))
+		switch rng.Intn(4) {
+		case 0:
+			if err := lsm.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+			if err := mem.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			v := []byte(fmt.Sprintf("val%d", i))
+			if err := lsm.Put(k, v); err != nil {
+				t.Fatal(err)
+			}
+			if err := mem.Put(k, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%97 == 0 {
+			probe := []byte(fmt.Sprintf("key%03d", rng.Intn(200)))
+			lv, lok, lerr := lsm.Get(probe)
+			mv, mok, merr := mem.Get(probe)
+			if lerr != nil || merr != nil || lok != mok || !bytes.Equal(lv, mv) {
+				t.Fatalf("op %d: lsm(%q,%v,%v) != mem(%q,%v,%v)", i, lv, lok, lerr, mv, mok, merr)
+			}
+		}
+	}
+	// Final full comparison via iteration.
+	collect := func(s Store) map[string]string {
+		out := make(map[string]string)
+		if err := s.Iter(nil, nil, func(k, v []byte) bool {
+			out[string(k)] = string(v)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	lAll, mAll := collect(lsm), collect(mem)
+	if len(lAll) != len(mAll) {
+		t.Fatalf("key counts differ: %d vs %d", len(lAll), len(mAll))
+	}
+	for k, v := range mAll {
+		if lAll[k] != v {
+			t.Fatalf("key %s: %q vs %q", k, lAll[k], v)
+		}
+	}
+}
+
+func TestMemoryConcurrentAccess(t *testing.T) {
+	s := NewMemory()
+	defer s.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := []byte(fmt.Sprintf("w%d-k%d", w, i))
+				if err := s.Put(k, []byte("v")); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, found, err := s.Get(k); err != nil || !found {
+					t.Errorf("read own write failed: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 8*200 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+// TestSkiplistOrderedQuick: the memtable must keep arbitrary keys sorted.
+func TestSkiplistOrderedQuick(t *testing.T) {
+	f := func(keys [][]byte) bool {
+		sl := newSkiplist()
+		for i, k := range keys {
+			sl.put(append([]byte(nil), k...), []byte{byte(i)}, false)
+		}
+		var got []string
+		sl.scan(nil, func(k, v []byte, tomb bool) bool {
+			got = append(got, string(k))
+			return true
+		})
+		return sort.StringsAreSorted(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLSMPut(b *testing.B) {
+	s, err := OpenLSM(b.TempDir(), DefaultLSMOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	key := make([]byte, 32)
+	val := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key[0], key[1], key[2] = byte(i), byte(i>>8), byte(i>>16)
+		if err := s.Put(key, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLSMGet(b *testing.B) {
+	s, err := OpenLSM(b.TempDir(), DefaultLSMOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 10_000; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte("value")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Get([]byte(fmt.Sprintf("key-%05d", i%10_000))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package kvstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+)
+
+// SSTable file layout (all integers little-endian):
+//
+//	entry*   : type(1B) keyLen(uvarint) valLen(uvarint) key val
+//	index    : count(u32), then per entry: keyLen(uvarint) key offset(u64)
+//	footer   : indexOffset(u64) indexCRC(u32) magic(u64)
+//
+// The index holds every indexInterval-th entry's key and file offset; a
+// lookup binary-searches the in-memory index and scans at most one
+// interval. Entries are unique and sorted — each flush/compaction writes
+// from an already-deduplicated source.
+const (
+	sstMagic      uint64 = 0x4e455a48415f5353 // "NEZHA_SS"
+	indexInterval        = 16
+)
+
+const (
+	sstOpPut    = walOpPut
+	sstOpDelete = walOpDelete
+)
+
+// sstEntry is one record streamed out of (or into) a table file.
+type sstEntry struct {
+	key       []byte
+	value     []byte
+	tombstone bool
+}
+
+// writeSSTable persists sorted, deduplicated entries to path.
+func writeSSTable(path string, entries []sstEntry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("kvstore: create sstable: %w", err)
+	}
+	w := bufio.NewWriter(f)
+
+	type indexRec struct {
+		key    []byte
+		offset uint64
+	}
+	var (
+		index  []indexRec
+		offset uint64
+	)
+	for i, e := range entries {
+		if i%indexInterval == 0 {
+			index = append(index, indexRec{key: e.key, offset: offset})
+		}
+		rec := make([]byte, 0, 1+2*binary.MaxVarintLen64+len(e.key)+len(e.value))
+		op := byte(sstOpPut)
+		if e.tombstone {
+			op = sstOpDelete
+		}
+		rec = append(rec, op)
+		rec = binary.AppendUvarint(rec, uint64(len(e.key)))
+		rec = binary.AppendUvarint(rec, uint64(len(e.value)))
+		rec = append(rec, e.key...)
+		rec = append(rec, e.value...)
+		if _, err := w.Write(rec); err != nil {
+			return fmt.Errorf("kvstore: write sstable: %w", err)
+		}
+		offset += uint64(len(rec))
+	}
+
+	indexOffset := offset
+	var indexBuf bytes.Buffer
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(index)))
+	indexBuf.Write(u32[:])
+	for _, rec := range index {
+		indexBuf.Write(binary.AppendUvarint(nil, uint64(len(rec.key))))
+		indexBuf.Write(rec.key)
+		var u64 [8]byte
+		binary.LittleEndian.PutUint64(u64[:], rec.offset)
+		indexBuf.Write(u64[:])
+	}
+	if _, err := w.Write(indexBuf.Bytes()); err != nil {
+		return fmt.Errorf("kvstore: write sstable index: %w", err)
+	}
+
+	var footer [20]byte
+	binary.LittleEndian.PutUint64(footer[0:8], indexOffset)
+	binary.LittleEndian.PutUint32(footer[8:12], crc32.ChecksumIEEE(indexBuf.Bytes()))
+	binary.LittleEndian.PutUint64(footer[12:20], sstMagic)
+	if _, err := w.Write(footer[:]); err != nil {
+		return fmt.Errorf("kvstore: write sstable footer: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("kvstore: flush sstable: %w", err)
+	}
+	return f.Close()
+}
+
+// sstable is an open table file with its sparse index resident in memory.
+type sstable struct {
+	path    string
+	data    []byte // entry region, mmap-less: read fully (tables are modest)
+	keys    [][]byte
+	offsets []uint64
+}
+
+// openSSTable loads a table file and validates its footer and index CRC.
+func openSSTable(path string) (*sstable, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: read sstable: %w", err)
+	}
+	if len(raw) < 20 {
+		return nil, fmt.Errorf("kvstore: sstable %s truncated", path)
+	}
+	footer := raw[len(raw)-20:]
+	if binary.LittleEndian.Uint64(footer[12:20]) != sstMagic {
+		return nil, fmt.Errorf("kvstore: sstable %s bad magic", path)
+	}
+	indexOffset := binary.LittleEndian.Uint64(footer[0:8])
+	if indexOffset > uint64(len(raw)-20) {
+		return nil, fmt.Errorf("kvstore: sstable %s index offset out of range", path)
+	}
+	indexRegion := raw[indexOffset : len(raw)-20]
+	if crc32.ChecksumIEEE(indexRegion) != binary.LittleEndian.Uint32(footer[8:12]) {
+		return nil, fmt.Errorf("kvstore: sstable %s index corrupt", path)
+	}
+
+	t := &sstable{path: path, data: raw[:indexOffset]}
+	if len(indexRegion) < 4 {
+		return nil, fmt.Errorf("kvstore: sstable %s index truncated", path)
+	}
+	count := binary.LittleEndian.Uint32(indexRegion[:4])
+	pos := 4
+	for i := uint32(0); i < count; i++ {
+		keyLen, n := binary.Uvarint(indexRegion[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("kvstore: sstable %s index entry corrupt", path)
+		}
+		pos += n
+		if pos+int(keyLen)+8 > len(indexRegion) {
+			return nil, fmt.Errorf("kvstore: sstable %s index entry truncated", path)
+		}
+		t.keys = append(t.keys, indexRegion[pos:pos+int(keyLen)])
+		pos += int(keyLen)
+		t.offsets = append(t.offsets, binary.LittleEndian.Uint64(indexRegion[pos:pos+8]))
+		pos += 8
+	}
+	return t, nil
+}
+
+// decodeEntry parses one record at offset, returning the entry and the next
+// offset.
+func (t *sstable) decodeEntry(offset uint64) (sstEntry, uint64, error) {
+	buf := t.data[offset:]
+	if len(buf) == 0 {
+		return sstEntry{}, 0, fmt.Errorf("kvstore: sstable %s read past end", t.path)
+	}
+	op := buf[0]
+	pos := 1
+	keyLen, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return sstEntry{}, 0, fmt.Errorf("kvstore: sstable %s entry corrupt", t.path)
+	}
+	pos += n
+	valLen, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return sstEntry{}, 0, fmt.Errorf("kvstore: sstable %s entry corrupt", t.path)
+	}
+	pos += n
+	if pos+int(keyLen)+int(valLen) > len(buf) {
+		return sstEntry{}, 0, fmt.Errorf("kvstore: sstable %s entry truncated", t.path)
+	}
+	e := sstEntry{
+		key:       buf[pos : pos+int(keyLen)],
+		value:     buf[pos+int(keyLen) : pos+int(keyLen)+int(valLen)],
+		tombstone: op == sstOpDelete,
+	}
+	return e, offset + uint64(pos) + keyLen + valLen, nil
+}
+
+// get looks up key; ok reports whether a record (possibly a tombstone)
+// exists in this table.
+func (t *sstable) get(key []byte) (value []byte, tombstone, ok bool, err error) {
+	if len(t.keys) == 0 {
+		return nil, false, false, nil
+	}
+	// Last index entry with keys[i] <= key.
+	i := sort.Search(len(t.keys), func(i int) bool { return bytes.Compare(t.keys[i], key) > 0 }) - 1
+	if i < 0 {
+		return nil, false, false, nil
+	}
+	offset := t.offsets[i]
+	for steps := 0; steps < indexInterval; steps++ {
+		if offset >= uint64(len(t.data)) {
+			break
+		}
+		e, next, err := t.decodeEntry(offset)
+		if err != nil {
+			return nil, false, false, err
+		}
+		switch bytes.Compare(e.key, key) {
+		case 0:
+			return e.value, e.tombstone, true, nil
+		case 1:
+			return nil, false, false, nil
+		}
+		offset = next
+	}
+	return nil, false, false, nil
+}
+
+// scan walks all entries with key >= start in order.
+func (t *sstable) scan(start []byte, fn func(e sstEntry) bool) error {
+	var offset uint64
+	if len(t.keys) > 0 {
+		i := sort.Search(len(t.keys), func(i int) bool { return bytes.Compare(t.keys[i], start) > 0 }) - 1
+		if i > 0 {
+			offset = t.offsets[i]
+		}
+	}
+	for offset < uint64(len(t.data)) {
+		e, next, err := t.decodeEntry(offset)
+		if err != nil {
+			return err
+		}
+		if bytes.Compare(e.key, start) >= 0 {
+			if !fn(e) {
+				return nil
+			}
+		}
+		offset = next
+	}
+	return nil
+}

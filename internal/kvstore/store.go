@@ -1,0 +1,62 @@
+// Package kvstore is the reproduction's embedded key-value storage engine —
+// the substitute for the LevelDB instance the paper's prototype stores block
+// and state data in (§V). Two backends implement one Store interface:
+//
+//   - Memory: a mutex-guarded ordered map, for tests and pure benchmarks.
+//   - LSM: a log-structured merge store in the LevelDB tradition —
+//     write-ahead log, skiplist memtable, sorted-string-table files, and
+//     size-tiered compaction — durable across restarts.
+//
+// Keys and values are arbitrary byte strings; iteration is in ascending
+// lexicographic key order.
+package kvstore
+
+import "errors"
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("kvstore: store is closed")
+
+// Store is an embedded key-value store.
+type Store interface {
+	// Get returns the value for key; found is false when absent.
+	Get(key []byte) (value []byte, found bool, err error)
+	// Put inserts or replaces a key.
+	Put(key, value []byte) error
+	// Delete removes a key; deleting an absent key is not an error.
+	Delete(key []byte) error
+	// Apply commits a batch atomically.
+	Apply(b *Batch) error
+	// Iter calls fn for every key in [start, end) in ascending order; a nil
+	// end means "to the last key". fn returning false stops iteration.
+	Iter(start, end []byte, fn func(key, value []byte) bool) error
+	// Close releases resources; the store must not be used afterwards.
+	Close() error
+}
+
+// Batch is a set of writes applied atomically by Store.Apply. Later
+// operations on the same key override earlier ones.
+type Batch struct {
+	ops []batchOp
+}
+
+type batchOp struct {
+	key    []byte
+	value  []byte
+	delete bool
+}
+
+// Put queues an insert/replace.
+func (b *Batch) Put(key, value []byte) {
+	b.ops = append(b.ops, batchOp{key: append([]byte(nil), key...), value: append([]byte(nil), value...)})
+}
+
+// Delete queues a removal.
+func (b *Batch) Delete(key []byte) {
+	b.ops = append(b.ops, batchOp{key: append([]byte(nil), key...), delete: true})
+}
+
+// Len returns the number of queued operations.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Reset clears the batch for reuse.
+func (b *Batch) Reset() { b.ops = b.ops[:0] }

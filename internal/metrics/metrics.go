@@ -1,0 +1,129 @@
+// Package metrics collects the measurements the paper's evaluation reports:
+// per-phase latencies of the transaction-processing workflow (validation,
+// concurrent execution, concurrency control, commitment — Fig. 2(b)), the
+// concurrency-control sub-phase breakdown (Fig. 10), abort counts
+// (Fig. 11), and effective throughput (Fig. 12).
+package metrics
+
+import (
+	"sync"
+	"time"
+
+	"github.com/nezha-dag/nezha/internal/types"
+)
+
+// EpochStats records one processed epoch.
+type EpochStats struct {
+	Epoch            uint64
+	BlockConcurrency int
+	Txs              int
+	Committed        int
+	Aborted          int
+	ExecutionFailed  int
+
+	Validate time.Duration
+	Execute  time.Duration
+	Control  time.Duration
+	Commit   time.Duration
+	// ControlBreakdown splits Control into the Fig. 10 sub-phases.
+	ControlBreakdown types.PhaseBreakdown
+}
+
+// Total returns the end-to-end processing latency of the epoch.
+func (e EpochStats) Total() time.Duration {
+	return e.Validate + e.Execute + e.Control + e.Commit
+}
+
+// AbortRate returns aborted/(committed+aborted), counting scheduler aborts
+// only (execution failures are a different phenomenon).
+func (e EpochStats) AbortRate() float64 {
+	total := e.Committed + e.Aborted
+	if total == 0 {
+		return 0
+	}
+	return float64(e.Aborted) / float64(total)
+}
+
+// Collector accumulates epoch statistics; safe for concurrent use.
+type Collector struct {
+	mu     sync.Mutex
+	epochs []EpochStats
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Record appends one epoch's stats.
+func (c *Collector) Record(s EpochStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epochs = append(c.epochs, s)
+}
+
+// Epochs returns a copy of all recorded stats.
+func (c *Collector) Epochs() []EpochStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]EpochStats, len(c.epochs))
+	copy(out, c.epochs)
+	return out
+}
+
+// Summary aggregates the recorded epochs.
+type Summary struct {
+	Epochs    int
+	Txs       int
+	Committed int
+	Aborted   int
+
+	Validate time.Duration
+	Execute  time.Duration
+	Control  time.Duration
+	Commit   time.Duration
+
+	ControlBreakdown types.PhaseBreakdown
+}
+
+// Total returns the summed end-to-end latency.
+func (s Summary) Total() time.Duration {
+	return s.Validate + s.Execute + s.Control + s.Commit
+}
+
+// AbortRate returns the aggregate scheduler abort rate.
+func (s Summary) AbortRate() float64 {
+	total := s.Committed + s.Aborted
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Aborted) / float64(total)
+}
+
+// EffectiveThroughput returns committed transactions per second given the
+// wall-clock window they were processed in — the paper's Fig. 12 metric
+// ("the number of valid transactions that pass transaction processing and
+// persist their states").
+func (s Summary) EffectiveThroughput(window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(s.Committed) / window.Seconds()
+}
+
+// Summarize aggregates all recorded epochs.
+func (c *Collector) Summarize() Summary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var s Summary
+	for _, e := range c.epochs {
+		s.Epochs++
+		s.Txs += e.Txs
+		s.Committed += e.Committed
+		s.Aborted += e.Aborted
+		s.Validate += e.Validate
+		s.Execute += e.Execute
+		s.Control += e.Control
+		s.Commit += e.Commit
+		s.ControlBreakdown.Add(e.ControlBreakdown)
+	}
+	return s
+}

@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/nezha-dag/nezha/internal/types"
+)
+
+func TestEpochStatsDerived(t *testing.T) {
+	s := EpochStats{
+		Txs: 100, Committed: 90, Aborted: 10,
+		Validate: time.Millisecond, Execute: 2 * time.Millisecond,
+		Control: 3 * time.Millisecond, Commit: 4 * time.Millisecond,
+	}
+	if s.Total() != 10*time.Millisecond {
+		t.Fatalf("total = %v", s.Total())
+	}
+	if s.AbortRate() != 0.1 {
+		t.Fatalf("abort rate = %v", s.AbortRate())
+	}
+	if (EpochStats{}).AbortRate() != 0 {
+		t.Fatal("empty abort rate not zero")
+	}
+}
+
+func TestCollectorSummarize(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < 3; i++ {
+		c.Record(EpochStats{
+			Epoch: uint64(i), Txs: 10, Committed: 8, Aborted: 2,
+			Execute: time.Millisecond,
+			ControlBreakdown: types.PhaseBreakdown{
+				Graph: time.Microsecond, Cycle: 2 * time.Microsecond, Sort: 3 * time.Microsecond,
+			},
+		})
+	}
+	sum := c.Summarize()
+	if sum.Epochs != 3 || sum.Txs != 30 || sum.Committed != 24 || sum.Aborted != 6 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.Execute != 3*time.Millisecond {
+		t.Fatalf("execute = %v", sum.Execute)
+	}
+	if sum.ControlBreakdown.Total() != 18*time.Microsecond {
+		t.Fatalf("breakdown total = %v", sum.ControlBreakdown.Total())
+	}
+	if sum.AbortRate() != 0.2 {
+		t.Fatalf("abort rate = %v", sum.AbortRate())
+	}
+	if len(c.Epochs()) != 3 {
+		t.Fatal("epochs copy wrong")
+	}
+}
+
+func TestEffectiveThroughput(t *testing.T) {
+	s := Summary{Committed: 500}
+	if got := s.EffectiveThroughput(2 * time.Second); got != 250 {
+		t.Fatalf("tps = %v", got)
+	}
+	if s.EffectiveThroughput(0) != 0 {
+		t.Fatal("zero window must yield zero")
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Record(EpochStats{Txs: 1, Committed: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	if sum := c.Summarize(); sum.Epochs != 800 || sum.Committed != 800 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}

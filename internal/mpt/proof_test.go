@@ -1,0 +1,148 @@
+package mpt
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestProveAndVerifyMembership(t *testing.T) {
+	tr := newTestTrie()
+	content := map[string]string{}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%02d", i)
+		content[k] = fmt.Sprintf("value-%d", i)
+		if err := tr.Put([]byte(k), []byte(content[k])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root := tr.RootHash()
+	for k, v := range content {
+		proof, err := tr.Prove([]byte(k))
+		if err != nil {
+			t.Fatalf("prove %q: %v", k, err)
+		}
+		got, found, err := VerifyProof(root, []byte(k), proof)
+		if err != nil || !found || string(got) != v {
+			t.Fatalf("verify %q = %q,%v,%v want %q", k, got, found, err, v)
+		}
+	}
+}
+
+func TestProveAbsence(t *testing.T) {
+	tr := newTestTrie()
+	for i := 0; i < 50; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("present-%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root := tr.RootHash()
+	absent := []string{"absent", "present-99", "present-0", "present-000", ""}
+	for _, k := range absent {
+		proof, err := tr.Prove([]byte(k))
+		if err != nil {
+			t.Fatalf("prove %q: %v", k, err)
+		}
+		_, found, err := VerifyProof(root, []byte(k), proof)
+		if err != nil {
+			t.Fatalf("verify absent %q: %v", k, err)
+		}
+		if found {
+			t.Fatalf("absent key %q proven present", k)
+		}
+	}
+}
+
+func TestProofEmptyTrie(t *testing.T) {
+	tr := newTestTrie()
+	proof, err := tr.Prove([]byte("anything"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, found, err := VerifyProof(EmptyRoot, []byte("anything"), proof); err != nil || found {
+		t.Fatalf("empty-trie proof: %v, %v", found, err)
+	}
+}
+
+func TestProofRejectsTampering(t *testing.T) {
+	tr := newTestTrie()
+	for i := 0; i < 30; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%02d", i)), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root := tr.RootHash()
+	proof, err := tr.Prove([]byte("k05"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proof.Nodes) == 0 {
+		t.Fatal("empty proof")
+	}
+
+	// Flip a byte anywhere in any node: verification must fail.
+	for i := range proof.Nodes {
+		tampered := &Proof{Nodes: make([][]byte, len(proof.Nodes))}
+		for j := range proof.Nodes {
+			tampered.Nodes[j] = append([]byte(nil), proof.Nodes[j]...)
+		}
+		tampered.Nodes[i][len(tampered.Nodes[i])/2] ^= 0xff
+		if _, _, err := VerifyProof(root, []byte("k05"), tampered); !errors.Is(err, ErrInvalidProof) {
+			t.Fatalf("tampered node %d accepted: %v", i, err)
+		}
+	}
+	// Truncated proof fails rather than claiming absence.
+	if len(proof.Nodes) > 1 {
+		truncated := &Proof{Nodes: proof.Nodes[:len(proof.Nodes)-1]}
+		if _, _, err := VerifyProof(root, []byte("k05"), truncated); !errors.Is(err, ErrInvalidProof) {
+			t.Fatalf("truncated proof accepted: %v", err)
+		}
+	}
+	// Wrong root fails.
+	badRoot := root
+	badRoot[0] ^= 1
+	if _, _, err := VerifyProof(badRoot, []byte("k05"), proof); !errors.Is(err, ErrInvalidProof) {
+		t.Fatalf("wrong root accepted: %v", err)
+	}
+	// A proof for one key must not verify another key as present.
+	if _, found, _ := VerifyProof(root, []byte("k06"), proof); found {
+		t.Fatal("proof transplanted across keys")
+	}
+}
+
+// TestProofRandomized: proofs for random membership and absence queries over
+// random tries.
+func TestProofRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		tr := newTestTrie()
+		content := map[string]string{}
+		n := 1 + rng.Intn(80)
+		for i := 0; i < n; i++ {
+			k := fmt.Sprintf("%x", rng.Intn(512))
+			v := fmt.Sprintf("v%d", i)
+			content[k] = v
+			if err := tr.Put([]byte(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		root := tr.RootHash()
+		for probe := 0; probe < 40; probe++ {
+			k := fmt.Sprintf("%x", rng.Intn(512))
+			proof, err := tr.Prove([]byte(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, found, err := VerifyProof(root, []byte(k), proof)
+			if err != nil {
+				t.Fatalf("trial %d key %q: %v", trial, k, err)
+			}
+			want, wantFound := content[k]
+			if found != wantFound || (found && string(got) != want) {
+				t.Fatalf("trial %d key %q: proof says (%q,%v), content says (%q,%v)",
+					trial, k, got, found, want, wantFound)
+			}
+		}
+	}
+}

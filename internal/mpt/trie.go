@@ -1,0 +1,397 @@
+package mpt
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"github.com/nezha-dag/nezha/internal/kvstore"
+	"github.com/nezha-dag/nezha/internal/types"
+)
+
+// ErrMissingNode is returned when a hash reference cannot be resolved from
+// the node store — state has been pruned or the store is corrupt.
+var ErrMissingNode = errors.New("mpt: missing trie node")
+
+// EmptyRoot is the root hash of an empty trie.
+var EmptyRoot = types.ZeroHash
+
+// Trie is a Merkle Patricia Trie over a node store. It is NOT safe for
+// concurrent mutation; the statedb layer serializes writers and clones
+// tries for snapshot readers.
+type Trie struct {
+	store kvstore.Store
+	root  node
+	// dirty accumulates freshly-encoded nodes between Commits.
+	dirty map[types.Hash][]byte
+}
+
+// New opens the trie rooted at root (EmptyRoot for a fresh trie) over the
+// given node store.
+func New(root types.Hash, store kvstore.Store) *Trie {
+	t := &Trie{store: store, dirty: make(map[types.Hash][]byte)}
+	if root != EmptyRoot {
+		t.root = hashNode(root)
+	}
+	return t
+}
+
+// resolve loads a node behind a hash reference.
+func (t *Trie) resolve(n node) (node, error) {
+	h, ok := n.(hashNode)
+	if !ok {
+		return n, nil
+	}
+	if enc, dirty := t.dirty[types.Hash(h)]; dirty {
+		return decodeNode(enc)
+	}
+	enc, found, err := t.store.Get(h[:])
+	if err != nil {
+		return nil, fmt.Errorf("mpt: load node: %w", err)
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: %s", ErrMissingNode, types.Hash(h))
+	}
+	return decodeNode(enc)
+}
+
+// Get returns the value stored at key; found is false when absent.
+func (t *Trie) Get(key []byte) (value []byte, found bool, err error) {
+	return t.get(t.root, keyToNibbles(key))
+}
+
+func (t *Trie) get(n node, path []byte) ([]byte, bool, error) {
+	switch n := n.(type) {
+	case nil:
+		return nil, false, nil
+	case hashNode:
+		resolved, err := t.resolve(n)
+		if err != nil {
+			return nil, false, err
+		}
+		return t.get(resolved, path)
+	case *shortNode:
+		if len(path) < len(n.key) || !bytes.Equal(n.key, path[:len(n.key)]) {
+			return nil, false, nil
+		}
+		rest := path[len(n.key):]
+		if v, isLeaf := n.val.(valueNode); isLeaf {
+			if len(rest) != 0 {
+				return nil, false, nil
+			}
+			return append([]byte(nil), v...), true, nil
+		}
+		return t.get(n.val, rest)
+	case *branchNode:
+		if len(path) == 0 {
+			if n.value == nil {
+				return nil, false, nil
+			}
+			return append([]byte(nil), n.value...), true, nil
+		}
+		return t.get(n.children[path[0]], path[1:])
+	case valueNode:
+		return nil, false, fmt.Errorf("mpt: dangling value node")
+	default:
+		return nil, false, fmt.Errorf("mpt: unknown node %T", n)
+	}
+}
+
+// Put inserts or replaces key → value. An empty value deletes the key,
+// matching Ethereum semantics.
+func (t *Trie) Put(key, value []byte) error {
+	if len(value) == 0 {
+		return t.Delete(key)
+	}
+	newRoot, err := t.insert(t.root, keyToNibbles(key), append([]byte(nil), value...))
+	if err != nil {
+		return err
+	}
+	t.root = newRoot
+	return nil
+}
+
+func (t *Trie) insert(n node, path []byte, value []byte) (node, error) {
+	switch n := n.(type) {
+	case nil:
+		// A value with no children below it is always a leaf — even with
+		// an empty remaining path. (Representing it as a value-only
+		// branch would break history independence: the same content
+		// would hash differently depending on insertion order.)
+		return &shortNode{key: path, val: valueNode(value)}, nil
+	case hashNode:
+		resolved, err := t.resolve(n)
+		if err != nil {
+			return nil, err
+		}
+		return t.insert(resolved, path, value)
+	case *shortNode:
+		match := prefixLen(n.key, path)
+		if match == len(n.key) {
+			rest := path[match:]
+			if v, isLeaf := n.val.(valueNode); isLeaf {
+				if len(rest) == 0 {
+					c := n.copy()
+					c.val = valueNode(value)
+					return c, nil
+				}
+				// Split the leaf: its value moves to a branch value slot.
+				branch := &branchNode{value: []byte(v)}
+				child, err := t.insert(nil, rest[1:], value)
+				if err != nil {
+					return nil, err
+				}
+				branch.children[rest[0]] = child
+				if len(n.key) == 0 {
+					return branch, nil
+				}
+				return &shortNode{key: n.key, val: branch}, nil
+			}
+			child, err := t.insert(n.val, rest, value)
+			if err != nil {
+				return nil, err
+			}
+			c := n.copy()
+			c.val = child
+			return c, nil
+		}
+		// Paths diverge inside n.key: make a branch at the divergence.
+		branch := &branchNode{}
+		// Remainder of the existing short node.
+		existingRest := n.key[match:]
+		if len(existingRest) == 1 && !isLeafNode(n.val) {
+			branch.children[existingRest[0]] = n.val
+		} else if isLeafNode(n.val) && len(existingRest) == 1 {
+			branch.children[existingRest[0]] = &shortNode{key: nil, val: n.val}
+		} else {
+			branch.children[existingRest[0]] = &shortNode{key: existingRest[1:], val: n.val}
+		}
+		// New value.
+		newRest := path[match:]
+		if len(newRest) == 0 {
+			branch.value = value
+		} else {
+			child, err := t.insert(nil, newRest[1:], value)
+			if err != nil {
+				return nil, err
+			}
+			branch.children[newRest[0]] = child
+		}
+		if match == 0 {
+			return branch, nil
+		}
+		return &shortNode{key: path[:match], val: branch}, nil
+	case *branchNode:
+		c := n.copy()
+		if len(path) == 0 {
+			c.value = value
+			return c, nil
+		}
+		child, err := t.insert(n.children[path[0]], path[1:], value)
+		if err != nil {
+			return nil, err
+		}
+		c.children[path[0]] = child
+		return c, nil
+	default:
+		return nil, fmt.Errorf("mpt: insert into %T", n)
+	}
+}
+
+func isLeafNode(n node) bool {
+	_, ok := n.(valueNode)
+	return ok
+}
+
+// Delete removes key; deleting an absent key is a no-op.
+func (t *Trie) Delete(key []byte) error {
+	newRoot, _, err := t.remove(t.root, keyToNibbles(key))
+	if err != nil {
+		return err
+	}
+	t.root = newRoot
+	return nil
+}
+
+// remove returns the replacement node and whether anything changed.
+func (t *Trie) remove(n node, path []byte) (node, bool, error) {
+	switch n := n.(type) {
+	case nil:
+		return nil, false, nil
+	case hashNode:
+		resolved, err := t.resolve(n)
+		if err != nil {
+			return nil, false, err
+		}
+		return t.remove(resolved, path)
+	case *shortNode:
+		if len(path) < len(n.key) || !bytes.Equal(n.key, path[:len(n.key)]) {
+			return n, false, nil
+		}
+		rest := path[len(n.key):]
+		if v, isLeaf := n.val.(valueNode); isLeaf {
+			_ = v
+			if len(rest) == 0 {
+				return nil, true, nil
+			}
+			return n, false, nil
+		}
+		child, changed, err := t.remove(n.val, rest)
+		if err != nil || !changed {
+			return n, changed, err
+		}
+		return t.collapseShort(n.key, child)
+	case *branchNode:
+		c := n.copy()
+		if len(path) == 0 {
+			if n.value == nil {
+				return n, false, nil
+			}
+			c.value = nil
+			return t.collapseBranch(c)
+		}
+		child, changed, err := t.remove(n.children[path[0]], path[1:])
+		if err != nil || !changed {
+			return n, changed, err
+		}
+		c.children[path[0]] = child
+		return t.collapseBranch(c)
+	default:
+		return nil, false, fmt.Errorf("mpt: remove from %T", n)
+	}
+}
+
+// collapseShort re-attaches a (possibly collapsed) child under a prefix.
+func (t *Trie) collapseShort(prefix []byte, child node) (node, bool, error) {
+	switch child := child.(type) {
+	case nil:
+		return nil, true, nil
+	case *shortNode:
+		merged := &shortNode{key: append(append([]byte(nil), prefix...), child.key...), val: child.val}
+		return merged, true, nil
+	default:
+		return &shortNode{key: prefix, val: child}, true, nil
+	}
+}
+
+// collapseBranch simplifies a branch that may have dropped to one child or
+// value-only after a removal.
+func (t *Trie) collapseBranch(n *branchNode) (node, bool, error) {
+	liveIdx := -1
+	liveCount := 0
+	for i, c := range n.children {
+		if c != nil {
+			liveIdx = i
+			liveCount++
+		}
+	}
+	switch {
+	case liveCount == 0 && n.value == nil:
+		return nil, true, nil
+	case liveCount == 0:
+		// Value-only branch collapses to an empty-key leaf (canonical
+		// form; see insert).
+		return &shortNode{key: nil, val: valueNode(n.value)}, true, nil
+	case liveCount == 1 && n.value == nil:
+		// Merge the lone child upward.
+		child, err := t.resolve(n.children[liveIdx])
+		if err != nil {
+			return nil, false, err
+		}
+		switch child := child.(type) {
+		case *shortNode:
+			merged := &shortNode{
+				key: append([]byte{byte(liveIdx)}, child.key...),
+				val: child.val,
+			}
+			return merged, true, nil
+		default:
+			return &shortNode{key: []byte{byte(liveIdx)}, val: child}, true, nil
+		}
+	default:
+		return n, true, nil
+	}
+}
+
+// RootHash computes (and caches) the current root hash, buffering freshly
+// encoded nodes for the next Commit. An empty trie has EmptyRoot.
+func (t *Trie) RootHash() types.Hash {
+	if t.root == nil {
+		return EmptyRoot
+	}
+	return hashNodeRef(t.root, func(h types.Hash, enc []byte) {
+		t.dirty[h] = enc
+	})
+}
+
+// Commit hashes the trie and persists every node reachable from new
+// insertions into the store atomically, returning the root hash.
+func (t *Trie) Commit() (types.Hash, error) {
+	root := t.RootHash()
+	if len(t.dirty) == 0 {
+		return root, nil
+	}
+	batch := &kvstore.Batch{}
+	for h, enc := range t.dirty {
+		batch.Put(h[:], enc)
+	}
+	if err := t.store.Apply(batch); err != nil {
+		return types.Hash{}, fmt.Errorf("mpt: commit: %w", err)
+	}
+	t.dirty = make(map[types.Hash][]byte)
+	return root, nil
+}
+
+// Iterate walks every (key, value) pair in ascending key order. Keys are
+// reconstructed from nibble paths; the callback returning false stops the
+// walk.
+func (t *Trie) Iterate(fn func(key, value []byte) bool) error {
+	_, err := t.iterate(t.root, nil, fn)
+	return err
+}
+
+func (t *Trie) iterate(n node, path []byte, fn func(key, value []byte) bool) (bool, error) {
+	switch n := n.(type) {
+	case nil:
+		return true, nil
+	case hashNode:
+		resolved, err := t.resolve(n)
+		if err != nil {
+			return false, err
+		}
+		return t.iterate(resolved, path, fn)
+	case *shortNode:
+		full := append(append([]byte(nil), path...), n.key...)
+		if v, isLeaf := n.val.(valueNode); isLeaf {
+			return fn(nibblesToKey(full), append([]byte(nil), v...)), nil
+		}
+		return t.iterate(n.val, full, fn)
+	case *branchNode:
+		if n.value != nil {
+			if !fn(nibblesToKey(path), append([]byte(nil), n.value...)) {
+				return false, nil
+			}
+		}
+		for i, c := range n.children {
+			if c == nil {
+				continue
+			}
+			cont, err := t.iterate(c, append(append([]byte(nil), path...), byte(i)), fn)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	default:
+		return false, fmt.Errorf("mpt: iterate over %T", n)
+	}
+}
+
+// nibblesToKey packs an even-length nibble path back into bytes.
+func nibblesToKey(nibbles []byte) []byte {
+	out := make([]byte, len(nibbles)/2)
+	for i := range out {
+		out[i] = nibbles[2*i]<<4 | nibbles[2*i+1]
+	}
+	return out
+}

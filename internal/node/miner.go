@@ -1,0 +1,103 @@
+package node
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/nezha-dag/nezha/internal/consensus"
+	"github.com/nezha-dag/nezha/internal/types"
+)
+
+// Miner drives block production for one node: it keeps a transaction pool,
+// assembles block templates over the node's current tips and latest
+// processed state root, and runs the OHIE proof of work.
+type Miner struct {
+	node      *Node
+	addr      types.Address
+	blockSize int
+
+	mu    sync.Mutex
+	pool  []*types.Transaction
+	seen  map[types.Hash]bool
+	seed  uint64
+	clock func() uint64
+}
+
+// NewMiner attaches a miner to a node. blockSize caps transactions per
+// block (the paper uses 200, §VI-A).
+func NewMiner(n *Node, addr types.Address, blockSize int) *Miner {
+	return &Miner{
+		node:      n,
+		addr:      addr,
+		blockSize: blockSize,
+		seen:      make(map[types.Hash]bool),
+		seed:      uint64(types.HashBytes(addr[:])[0]) << 32, // disjoint nonce ranges per miner
+		clock:     func() uint64 { return uint64(time.Now().UnixMilli()) },
+	}
+}
+
+// AddTxs queues transactions, dropping ones already seen.
+func (m *Miner) AddTxs(txs []*types.Transaction) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, tx := range txs {
+		h := tx.Hash()
+		if m.seen[h] {
+			continue
+		}
+		m.seen[h] = true
+		m.pool = append(m.pool, tx)
+	}
+}
+
+// PoolSize returns the number of queued transactions.
+func (m *Miner) PoolSize() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pool)
+}
+
+// Mine assembles and mines one block. The transactions leave the pool only
+// on success; a cancelled search returns them.
+func (m *Miner) Mine(ctx context.Context) (*types.Block, error) {
+	m.mu.Lock()
+	take := m.blockSize
+	if take > len(m.pool) {
+		take = len(m.pool)
+	}
+	txs := append([]*types.Transaction(nil), m.pool[:take]...)
+	m.seed += 1_000_000 // fresh nonce range per attempt
+	seed := m.seed
+	m.mu.Unlock()
+
+	b, err := consensus.Mine(ctx, consensus.Template{
+		Ledger:    m.node.Ledger(),
+		StateRoot: m.node.StateRoot(),
+		Txs:       txs,
+		Miner:     m.addr,
+		Time:      m.clock(),
+		NonceSeed: seed,
+	}, m.node.cfg.Consensus)
+	if err != nil {
+		return nil, err
+	}
+	// Remove the mined transactions; the pool may have grown while the
+	// nonce search ran.
+	mined := make(map[types.Hash]bool, len(txs))
+	for _, tx := range txs {
+		mined[tx.Hash()] = true
+	}
+	m.mu.Lock()
+	kept := m.pool[:0]
+	for _, tx := range m.pool {
+		if mined[tx.Hash()] {
+			delete(m.seen, tx.Hash())
+			continue
+		}
+		kept = append(kept, tx)
+	}
+	m.pool = kept
+	m.mu.Unlock()
+	return b, nil
+}

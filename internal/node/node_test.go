@@ -1,0 +1,428 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/nezha-dag/nezha/internal/cg"
+	"github.com/nezha-dag/nezha/internal/consensus"
+	"github.com/nezha-dag/nezha/internal/contracts/smallbank"
+	"github.com/nezha-dag/nezha/internal/core"
+	"github.com/nezha-dag/nezha/internal/dag"
+	"github.com/nezha-dag/nezha/internal/kvstore"
+	"github.com/nezha-dag/nezha/internal/types"
+	"github.com/nezha-dag/nezha/internal/workload"
+)
+
+// testConfig returns a node config with the SmallBank contract deployed,
+// instant mining, k chains, and the Nezha scheduler.
+func testConfig(k int, sched types.Scheduler) Config {
+	return Config{
+		Consensus:       consensus.Params{Chains: k, DifficultyBits: 0},
+		Scheduler:       sched,
+		Workers:         4,
+		Contracts:       map[types.Address][]byte{smallbank.ContractAddress: smallbank.Program()},
+		VerifySchedules: true,
+	}
+}
+
+// genesisFor seeds every account the given transactions touch.
+func genesisFor(t *testing.T, gen *workload.Generator, txs []*types.Transaction) []types.WriteEntry {
+	t.Helper()
+	snap, err := gen.Snapshot(txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := make([]types.WriteEntry, 0, len(snap))
+	for k, v := range snap {
+		writes = append(writes, types.WriteEntry{Key: k, Value: v})
+	}
+	return writes
+}
+
+// growEpochs mines and submits blocks (round-robin across the given
+// miners) until the node has `epochs` complete epochs, processing as it
+// goes.
+func growEpochs(t *testing.T, n *Node, miners []*Miner, epochs uint64) {
+	t.Helper()
+	ctx := context.Background()
+	for i := 0; n.Ledger().Height(0) < epochs || !n.Ledger().EpochReady(epochs, 0); i++ {
+		if i > 10_000 {
+			t.Fatal("epochs refuse to complete")
+		}
+		m := miners[i%len(miners)]
+		b, err := m.Mine(ctx)
+		if err != nil {
+			t.Fatalf("mine: %v", err)
+		}
+		// Stale blocks are expected casualties of hash assignment.
+		if err := n.SubmitBlock(b); err != nil && !isStale(err) {
+			t.Fatalf("submit: %v", err)
+		}
+		if _, err := n.ProcessReadyEpochs(); err != nil {
+			t.Fatalf("process: %v", err)
+		}
+	}
+}
+
+func isStale(err error) bool {
+	return errors.Is(err, dag.ErrBelowFinal) || errors.Is(err, dag.ErrDuplicateBlock)
+}
+
+func TestSingleNodePipelineSmallBank(t *testing.T) {
+	gen, err := workload.NewGenerator(workload.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := gen.Txs(600)
+	cfg := testConfig(3, core.MustNewScheduler(core.DefaultConfig()))
+	cfg.GenesisWrites = genesisFor(t, gen, txs)
+	n, err := New("full", kvstore.NewMemory(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miner := NewMiner(n, types.AddressFromUint64(99), 100)
+	miner.AddTxs(txs)
+	if miner.PoolSize() != 600 {
+		t.Fatalf("pool = %d", miner.PoolSize())
+	}
+
+	growEpochs(t, n, []*Miner{miner}, 2)
+
+	sum := n.Metrics().Summarize()
+	if sum.Committed == 0 {
+		t.Fatal("nothing committed")
+	}
+	if sum.Txs == 0 || sum.Epochs == 0 {
+		t.Fatalf("summary empty: %+v", sum)
+	}
+	if n.StateRoot() == (types.Hash{}) {
+		t.Fatal("state root still empty")
+	}
+	// Committed writes must be observable: at least one touched account
+	// balance differs from the genesis value.
+	changed := false
+	for _, tx := range txs {
+		call, err := workload.DecodeCall(tx.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := n.State().Get(smallbank.CheckingKey(call.Acct1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workload.DecodeBalance(v) != 10_000 {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("no state change observed after committed epochs")
+	}
+}
+
+// TestNodesAgreeAcrossSchedulers: two nodes running the SAME scheduler over
+// the same blocks must converge to identical roots — and a Nezha node and a
+// second Nezha node must agree (cross-scheme roots legitimately differ
+// because abort sets differ).
+func TestNodesAgreeOnStateRoot(t *testing.T) {
+	gen, err := workload.NewGenerator(workload.Config{
+		Seed: 3, Accounts: 200, Skew: 0.8, InitialBalance: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := gen.Txs(400)
+
+	build := func(id string) (*Node, error) {
+		cfg := testConfig(4, core.MustNewScheduler(core.DefaultConfig()))
+		cfg.GenesisWrites = genesisFor(t, gen, txs)
+		return New(id, kvstore.NewMemory(), cfg)
+	}
+	n1, err := build("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := build("n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1.StateRoot() != n2.StateRoot() {
+		t.Fatal("genesis roots differ")
+	}
+
+	// One miner attached to n1; every block is replayed into n2.
+	miner := NewMiner(n1, types.AddressFromUint64(1), 50)
+	miner.AddTxs(txs)
+	ctx := context.Background()
+	for i := 0; !n1.Ledger().EpochReady(3, 0); i++ {
+		if i > 5000 {
+			t.Fatal("epochs refuse to complete")
+		}
+		b, err := miner.Mine(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err1 := n1.SubmitBlock(b)
+		err2 := n2.SubmitBlock(b)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nodes disagree on block validity: %v vs %v", err1, err2)
+		}
+		if _, err := n1.ProcessReadyEpochs(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n2.ProcessReadyEpochs(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n1.NextEpoch() != n2.NextEpoch() {
+		t.Fatalf("nodes at different epochs: %d vs %d", n1.NextEpoch(), n2.NextEpoch())
+	}
+	if n1.NextEpoch() < 3 {
+		t.Fatal("fewer than 2 epochs processed")
+	}
+	if n1.StateRoot() != n2.StateRoot() {
+		t.Fatalf("state roots diverge: %s vs %s", n1.StateRoot(), n2.StateRoot())
+	}
+}
+
+// TestCGNodeMatchesNezhaCommittedSubset: with the CG scheduler the pipeline
+// must also produce verified-serializable epochs (scheduler plugability).
+func TestCGSchedulerInPipeline(t *testing.T) {
+	gen, err := workload.NewGenerator(workload.Config{
+		Seed: 5, Accounts: 2000, Skew: 0.2, InitialBalance: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := gen.Txs(200)
+	cfg := testConfig(2, cg.NewScheduler(cg.DefaultConfig()))
+	cfg.GenesisWrites = genesisFor(t, gen, txs)
+	n, err := New("cg", kvstore.NewMemory(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miner := NewMiner(n, types.AddressFromUint64(7), 100)
+	miner.AddTxs(txs)
+	growEpochs(t, n, []*Miner{miner}, 1)
+	if n.Metrics().Summarize().Committed == 0 {
+		t.Fatal("CG pipeline committed nothing")
+	}
+}
+
+// TestSerialBaselinePipeline: nil scheduler = serial execution; everything
+// commits (no aborts possible) and state advances.
+func TestSerialBaselinePipeline(t *testing.T) {
+	gen, err := workload.NewGenerator(workload.Config{
+		Seed: 9, Accounts: 100, Skew: 0.9, InitialBalance: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := gen.Txs(150)
+	cfg := testConfig(2, nil)
+	cfg.GenesisWrites = genesisFor(t, gen, txs)
+	n, err := New("serial", kvstore.NewMemory(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miner := NewMiner(n, types.AddressFromUint64(3), 100)
+	miner.AddTxs(txs)
+	growEpochs(t, n, []*Miner{miner}, 1)
+	sum := n.Metrics().Summarize()
+	if sum.Aborted != 0 {
+		t.Fatalf("serial execution aborted %d transactions", sum.Aborted)
+	}
+	if sum.Committed == 0 {
+		t.Fatal("serial pipeline committed nothing")
+	}
+}
+
+// TestSerialAndNezhaConvergeOnConflictFreeWorkload: when transactions have
+// no conflicts at all (distinct accounts), serial and Nezha must produce
+// the SAME final state root — parallelism must be semantically invisible.
+func TestSerialAndNezhaConvergeOnConflictFreeWorkload(t *testing.T) {
+	// Hand-build disjoint transactions: account i deposits into its own
+	// checking cell.
+	var txs []*types.Transaction
+	for i := uint64(0); i < 100; i++ {
+		txs = append(txs, &types.Transaction{
+			From:    types.AddressFromUint64(i),
+			To:      smallbank.ContractAddress,
+			Nonce:   i,
+			Gas:     100_000,
+			Payload: workload.EncodeCall(workload.Call{Op: smallbank.OpDepositChecking, Acct1: i, Amount: 5}),
+		})
+	}
+	var genesis []types.WriteEntry
+	for i := uint64(0); i < 100; i++ {
+		genesis = append(genesis,
+			types.WriteEntry{Key: smallbank.CheckingKey(i), Value: workload.EncodeBalance(100)},
+			types.WriteEntry{Key: smallbank.SavingsKey(i), Value: workload.EncodeBalance(100)},
+		)
+	}
+
+	run := func(sched types.Scheduler) types.Hash {
+		cfg := testConfig(2, sched)
+		cfg.GenesisWrites = genesis
+		n, err := New("x", kvstore.NewMemory(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		miner := NewMiner(n, types.AddressFromUint64(50), 100)
+		miner.AddTxs(txs)
+		growEpochs(t, n, []*Miner{miner}, 1)
+		return n.StateRoot()
+	}
+	serial := run(nil)
+	nezha := run(core.MustNewScheduler(core.DefaultConfig()))
+	if serial != nezha {
+		t.Fatalf("conflict-free workload: serial root %s != nezha root %s", serial, nezha)
+	}
+}
+
+func TestProcessEpochOrderEnforced(t *testing.T) {
+	cfg := testConfig(1, core.MustNewScheduler(core.DefaultConfig()))
+	n, err := New("x", kvstore.NewMemory(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.ProcessEpoch(5); !errors.Is(err, ErrEpochOutOfOrder) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := n.ProcessEpoch(1); !errors.Is(err, ErrEpochNotReady) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestValidationDiscardsBadStateRoot: a block carrying a forged state root
+// must be discarded during validation and its transactions skipped.
+func TestValidationDiscardsBadStateRoot(t *testing.T) {
+	cfg := testConfig(1, core.MustNewScheduler(core.DefaultConfig()))
+	n, err := New("x", kvstore.NewMemory(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miner := NewMiner(n, types.AddressFromUint64(1), 10)
+	miner.AddTxs([]*types.Transaction{{
+		From: types.AddressFromUint64(1), To: types.AddressFromUint64(2),
+		Value: 5, Gas: 1000, Nonce: 1,
+	}})
+
+	// Sabotage the state root by mining with a doctored template: easiest
+	// is to mine honestly, then corrupt and re-derive. A corrupted root
+	// changes the hash, so re-mine manually at difficulty 0.
+	b, err := miner.Mine(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Header.StateRoot = types.HashBytes([]byte("forged"))
+	b.InvalidateHash()
+	if err := n.Ledger().DeriveFields(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SubmitBlock(b); err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.ProcessEpoch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Discarded) != 1 {
+		t.Fatalf("discarded = %v", res.Discarded)
+	}
+	if res.Stats.Txs != 0 {
+		t.Fatal("transactions from a discarded block were processed")
+	}
+}
+
+func TestNativeTransfer(t *testing.T) {
+	alice, bob := types.AddressFromUint64(1), types.AddressFromUint64(2)
+	cfg := testConfig(1, core.MustNewScheduler(core.DefaultConfig()))
+	cfg.GenesisWrites = []types.WriteEntry{
+		{Key: types.BalanceKey(alice), Value: encodeU64(100)},
+	}
+	n, err := New("x", kvstore.NewMemory(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miner := NewMiner(n, types.AddressFromUint64(9), 10)
+	miner.AddTxs([]*types.Transaction{
+		{From: alice, To: bob, Value: 30, Gas: 1000, Nonce: 1},
+		{From: alice, To: bob, Value: 1000, Gas: 1000, Nonce: 2}, // over-balance: saturates
+	})
+	growEpochs(t, n, []*Miner{miner}, 1)
+
+	aliceBal, err := n.State().Get(types.BalanceKey(alice))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bobBal, err := n.State().Get(types.BalanceKey(bob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := decodeU64(aliceBal) + decodeU64(bobBal)
+	if total != 100 {
+		t.Fatalf("balance not conserved: alice=%d bob=%d", decodeU64(aliceBal), decodeU64(bobBal))
+	}
+	if decodeU64(bobBal) == 0 {
+		t.Fatal("no transfer happened")
+	}
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := New("x", kvstore.NewMemory(), Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func BenchmarkPipelineEpoch(b *testing.B) {
+	for _, conc := range []int{2, 8} {
+		b.Run(fmt.Sprintf("chains=%d", conc), func(b *testing.B) {
+			gen, err := workload.NewGenerator(workload.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			txs := gen.Txs(conc * 200 * (b.N + 2))
+			snap, err := gen.Snapshot(txs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var genesis []types.WriteEntry
+			for k, v := range snap {
+				genesis = append(genesis, types.WriteEntry{Key: k, Value: v})
+			}
+			cfg := Config{
+				Consensus:     consensus.Params{Chains: conc, DifficultyBits: 0},
+				Scheduler:     core.MustNewScheduler(core.DefaultConfig()),
+				Contracts:     map[types.Address][]byte{smallbank.ContractAddress: smallbank.Program()},
+				GenesisWrites: genesis,
+			}
+			n, err := New("bench", kvstore.NewMemory(), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			miner := NewMiner(n, types.AddressFromUint64(1), 200)
+			miner.AddTxs(txs)
+			ctx := context.Background()
+			b.ResetTimer()
+			processed := uint64(0)
+			for processed < uint64(b.N) {
+				blk, err := miner.Mine(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := n.SubmitBlock(blk); err != nil && !isStale(err) {
+					b.Fatal(err)
+				}
+				results, err := n.ProcessReadyEpochs()
+				if err != nil {
+					b.Fatal(err)
+				}
+				processed += uint64(len(results))
+			}
+		})
+	}
+}

@@ -1,0 +1,126 @@
+package node
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/nezha-dag/nezha/internal/kvstore"
+	"github.com/nezha-dag/nezha/internal/rlp"
+	"github.com/nezha-dag/nezha/internal/types"
+)
+
+// Node persistence: the chain metadata a restarted node needs — processed
+// epoch watermark, per-epoch state roots, and the canonical blocks — lives
+// in the same key-value store as the state trie, under string-prefixed keys
+// (trie nodes are keyed by exactly 32 raw bytes; these keys have different
+// lengths, so the namespaces cannot collide).
+//
+// On New(), a node finding persisted metadata restores its ledger by
+// replaying the stored canonical blocks (parents first), re-finalizes its
+// watermark, and reopens the state at the last committed root — the
+// restart story LevelDB gives the paper's prototype.
+
+var (
+	metaKey        = []byte("nezha/meta/v1")
+	blockKeyPrefix = []byte("nezha/blk/") // + epoch(8B BE) + chain(4B BE)
+)
+
+func blockKey(epoch uint64, chain uint32) []byte {
+	k := make([]byte, 0, len(blockKeyPrefix)+12)
+	k = append(k, blockKeyPrefix...)
+	k = binary.BigEndian.AppendUint64(k, epoch)
+	k = binary.BigEndian.AppendUint32(k, chain)
+	return k
+}
+
+// persistEpochLocked stores the epoch's canonical blocks and the updated
+// metadata in one atomic batch.
+func (n *Node) persistEpochLocked(e uint64, blocks []*types.Block) error {
+	batch := &kvstore.Batch{}
+	for _, b := range blocks {
+		batch.Put(blockKey(e, b.Header.ChainID), types.EncodeBlock(b))
+	}
+	batch.Put(metaKey, n.encodeMetaLocked())
+	if err := n.store.Apply(batch); err != nil {
+		return fmt.Errorf("node: persist epoch %d: %w", e, err)
+	}
+	return nil
+}
+
+// encodeMetaLocked serializes nextEpoch and the roots history.
+func (n *Node) encodeMetaLocked() []byte {
+	items := []rlp.Item{rlp.Uint(n.nextEpoch)}
+	// Roots in ascending epoch order for determinism.
+	for e := uint64(0); e < n.nextEpoch; e++ {
+		root, ok := n.roots[e]
+		if !ok {
+			continue
+		}
+		items = append(items, rlp.List(rlp.Uint(e), rlp.String(root[:])))
+	}
+	return rlp.Encode(rlp.List(items...))
+}
+
+// restoreFromStore loads persisted metadata and blocks; returns false when
+// the store holds no prior node state.
+func (n *Node) restoreFromStore() (bool, error) {
+	raw, found, err := n.store.Get(metaKey)
+	if err != nil {
+		return false, err
+	}
+	if !found {
+		return false, nil
+	}
+	item, err := rlp.Decode(raw)
+	if err != nil || item.K != rlp.KindList || len(item.List) < 1 {
+		return false, fmt.Errorf("node: corrupt metadata: %v", err)
+	}
+	next, err := rlp.DecodeUint(item.List[0].Str)
+	if err != nil {
+		return false, fmt.Errorf("node: corrupt metadata epoch: %w", err)
+	}
+	roots := map[uint64]types.Hash{}
+	for _, entry := range item.List[1:] {
+		if entry.K != rlp.KindList || len(entry.List) != 2 {
+			return false, fmt.Errorf("node: corrupt root entry")
+		}
+		e, err := rlp.DecodeUint(entry.List[0].Str)
+		if err != nil {
+			return false, err
+		}
+		if len(entry.List[1].Str) != types.HashLen {
+			return false, fmt.Errorf("node: corrupt root hash")
+		}
+		var root types.Hash
+		copy(root[:], entry.List[1].Str)
+		roots[e] = root
+	}
+
+	// Replay persisted canonical blocks, epoch by epoch (parents first).
+	// The full Add path cannot run here — a block's committed tips may
+	// include fork losers that were never persisted — so the ledger
+	// trusts the derived fields it validated before persisting.
+	var blocks []*types.Block
+	for e := uint64(1); e < next; e++ {
+		for c := uint32(0); c < uint32(n.ledger.Chains()); c++ {
+			raw, found, err := n.store.Get(blockKey(e, c))
+			if err != nil {
+				return false, err
+			}
+			if !found {
+				return false, fmt.Errorf("node: missing persisted block epoch %d chain %d", e, c)
+			}
+			b, err := types.DecodeBlock(raw)
+			if err != nil {
+				return false, fmt.Errorf("node: decode persisted block: %w", err)
+			}
+			blocks = append(blocks, b)
+		}
+	}
+	if err := n.ledger.Restore(blocks, next-1); err != nil {
+		return false, fmt.Errorf("node: replay persisted blocks: %w", err)
+	}
+	n.nextEpoch = next
+	n.roots = roots
+	return true, nil
+}

@@ -1,0 +1,92 @@
+package node
+
+import (
+	"errors"
+
+	"github.com/nezha-dag/nezha/internal/dag"
+	"github.com/nezha-dag/nezha/internal/p2p"
+	"github.com/nezha-dag/nezha/internal/types"
+)
+
+// Block synchronization: the paper's deployment includes a full node whose
+// job is to "synchronize the entire system state" (§VI-A). Synchronization
+// here is block-based — a late joiner fetches the canonical blocks it is
+// missing and replays the deterministic pipeline, which reproduces the
+// exact state every other node holds (state roots are checked per epoch by
+// validation, so a lying sync peer cannot corrupt the joiner silently: its
+// blocks simply fail PoW or root checks and are discarded).
+
+// MinHeight returns the lowest canonical chain height — everything at or
+// below it is fully synchronized.
+func (n *Node) MinHeight() uint64 {
+	min := n.ledger.Height(0)
+	for c := uint32(1); c < uint32(n.ledger.Chains()); c++ {
+		if h := n.ledger.Height(c); h < min {
+			min = h
+		}
+	}
+	return min
+}
+
+// HandleSyncRequest serves a MsgGetBlocks: it replies with the canonical
+// blocks above the requested height, parents before children.
+func (n *Node) HandleSyncRequest(ep *p2p.Endpoint, msg p2p.Message) {
+	blocks := n.ledger.BlocksAbove(msg.Height)
+	if len(blocks) == 0 {
+		return
+	}
+	ep.Send(msg.From, p2p.Message{Type: p2p.MsgBlocks, Blocks: blocks})
+}
+
+// HandleSyncResponse ingests a MsgBlocks batch, tolerating duplicates,
+// already-final blocks, and out-of-order delivery (the orphan buffer
+// reassembles). It returns the number of blocks accepted and the first
+// hard error (invalid blocks from a malicious peer).
+func (n *Node) HandleSyncResponse(msg p2p.Message) (int, error) {
+	accepted := 0
+	for _, b := range msg.Blocks {
+		err := n.SubmitBlock(b)
+		switch {
+		case err == nil:
+			accepted++
+		case errors.Is(err, dag.ErrDuplicateBlock),
+			errors.Is(err, dag.ErrBelowFinal),
+			errors.Is(err, dag.ErrUnknownParent):
+			// Benign: already known, already final, or buffered.
+		default:
+			return accepted, err
+		}
+	}
+	return accepted, nil
+}
+
+// RequestSync asks a peer for everything above this node's lowest fully-
+// synchronized height.
+func (n *Node) RequestSync(ep *p2p.Endpoint, peer string) {
+	ep.Send(peer, p2p.Message{Type: p2p.MsgGetBlocks, Height: n.MinHeight()})
+}
+
+// HandleMessage dispatches one network message to the appropriate handler;
+// the event loops of cmd/nezha-node and the examples route through it.
+// MsgTxs is returned to the caller (miner wiring is the caller's concern).
+func (n *Node) HandleMessage(ep *p2p.Endpoint, msg p2p.Message) ([]*types.Transaction, error) {
+	switch msg.Type {
+	case p2p.MsgBlock:
+		err := n.SubmitBlock(msg.Block)
+		if err != nil && !errors.Is(err, dag.ErrDuplicateBlock) &&
+			!errors.Is(err, dag.ErrBelowFinal) && !errors.Is(err, dag.ErrUnknownParent) {
+			return nil, err
+		}
+		return nil, nil
+	case p2p.MsgGetBlocks:
+		n.HandleSyncRequest(ep, msg)
+		return nil, nil
+	case p2p.MsgBlocks:
+		_, err := n.HandleSyncResponse(msg)
+		return nil, err
+	case p2p.MsgTxs:
+		return msg.Txs, nil
+	default:
+		return nil, nil
+	}
+}

@@ -1,0 +1,306 @@
+package node
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/nezha-dag/nezha/internal/core"
+	"github.com/nezha-dag/nezha/internal/dag"
+	"github.com/nezha-dag/nezha/internal/kvstore"
+	"github.com/nezha-dag/nezha/internal/p2p"
+	"github.com/nezha-dag/nezha/internal/types"
+	"github.com/nezha-dag/nezha/internal/workload"
+)
+
+// TestLateJoinerSyncsToSameRoot grows a chain on one node, then has a
+// fresh node join, request the missing blocks, and process to the same
+// state root — the paper's "full node synchronizes the entire system
+// state" role.
+func TestLateJoinerSyncsToSameRoot(t *testing.T) {
+	gen, err := workload.NewGenerator(workload.Config{
+		Seed: 8, Accounts: 300, Skew: 0.5, InitialBalance: 1_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := gen.Txs(600)
+	genesis := genesisFor(t, gen, txs)
+
+	build := func(id string) *Node {
+		cfg := testConfig(2, core.MustNewScheduler(core.DefaultConfig()))
+		cfg.GenesisWrites = genesis
+		n, err := New(id, kvstore.NewMemory(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	veteran := build("veteran")
+	miner := NewMiner(veteran, types.AddressFromUint64(1), 100)
+	miner.AddTxs(txs)
+	growEpochs(t, veteran, []*Miner{miner}, 3)
+	if veteran.NextEpoch() < 4 {
+		t.Fatalf("veteran only reached epoch %d", veteran.NextEpoch()-1)
+	}
+
+	// A fresh node joins and syncs.
+	net := p2p.NewNetwork(p2p.Config{QueueLen: 64})
+	defer net.Close()
+	vetEp, err := net.Join("veteran")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joiner := build("joiner")
+	joinEp, err := net.Join("joiner")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	joiner.RequestSync(joinEp, "veteran")
+	// Serve the request on the veteran, deliver the response on the
+	// joiner.
+	deadline := time.After(5 * time.Second)
+	synced := false
+	for !synced {
+		select {
+		case msg := <-vetEp.Inbox():
+			if _, err := veteran.HandleMessage(vetEp, msg); err != nil {
+				t.Fatal(err)
+			}
+		case msg := <-joinEp.Inbox():
+			if _, err := joiner.HandleMessage(joinEp, msg); err != nil {
+				t.Fatal(err)
+			}
+			if msg.Type == p2p.MsgBlocks {
+				synced = true
+			}
+		case <-deadline:
+			t.Fatal("sync never completed")
+		}
+	}
+
+	if _, err := joiner.ProcessReadyEpochs(); err != nil {
+		t.Fatal(err)
+	}
+	// The joiner processes at least the veteran's finalized prefix; at
+	// matching epochs the roots must be identical.
+	if joiner.NextEpoch() < 2 {
+		t.Fatalf("joiner stuck at epoch %d", joiner.NextEpoch()-1)
+	}
+	if joiner.NextEpoch() == veteran.NextEpoch() {
+		if joiner.StateRoot() != veteran.StateRoot() {
+			t.Fatalf("synced joiner root %s != veteran %s",
+				joiner.StateRoot().Short(), veteran.StateRoot().Short())
+		}
+		return
+	}
+	// Otherwise compare at the joiner's last processed epoch via the
+	// veteran's recorded history.
+	e := joiner.NextEpoch() - 1
+	veteran.mu.Lock()
+	want, ok := veteran.roots[e]
+	veteran.mu.Unlock()
+	if !ok {
+		t.Fatalf("veteran has no root for epoch %d", e)
+	}
+	if joiner.StateRoot() != want {
+		t.Fatalf("epoch %d: joiner root %s != veteran %s", e, joiner.StateRoot().Short(), want.Short())
+	}
+}
+
+func TestBlocksAboveOrdering(t *testing.T) {
+	cfg := testConfig(2, core.MustNewScheduler(core.DefaultConfig()))
+	n, err := New("x", kvstore.NewMemory(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miner := NewMiner(n, types.AddressFromUint64(2), 10)
+	growEpochs(t, n, []*Miner{miner}, 2)
+
+	blocks := n.Ledger().BlocksAbove(0)
+	if len(blocks) < 4 {
+		t.Fatalf("too few blocks: %d", len(blocks))
+	}
+	// Parents must precede children.
+	seen := map[types.Hash]bool{}
+	for c := 0; c < n.Ledger().Chains(); c++ {
+		// genesis blocks are implicit ancestors
+	}
+	for _, b := range blocks {
+		if b.Header.Height > 1 && !seen[b.Header.ParentHash] {
+			t.Fatalf("child %s delivered before parent", b.Hash().Short())
+		}
+		seen[b.Hash()] = true
+	}
+	// Height filter.
+	above1 := n.Ledger().BlocksAbove(1)
+	for _, b := range above1 {
+		if b.Header.Height <= 1 {
+			t.Fatalf("block at height %d leaked past filter", b.Header.Height)
+		}
+	}
+}
+
+// TestNodeRestartFromPersistedStore processes epochs with persistence on,
+// "crashes" (drops all in-memory state), reopens over the same LSM
+// directory, and must come back at the same epoch and root — then keep
+// processing.
+func TestNodeRestartFromPersistedStore(t *testing.T) {
+	dir := t.TempDir()
+	open := func() (*Node, kvstore.Store) {
+		store, err := kvstore.OpenLSM(dir, kvstore.DefaultLSMOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := testConfig(2, core.MustNewScheduler(core.DefaultConfig()))
+		cfg.Persist = true
+		gen, err := workload.NewGenerator(workload.Config{
+			Seed: 6, Accounts: 200, Skew: 0.3, InitialBalance: 1_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.GenesisWrites = genesisFor(t, gen, gen.Txs(400))
+		n, err := New("durable", store, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n, store
+	}
+
+	n1, store1 := open()
+	gen, err := workload.NewGenerator(workload.Config{
+		Seed: 6, Accounts: 200, Skew: 0.3, InitialBalance: 1_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	miner := NewMiner(n1, types.AddressFromUint64(1), 100)
+	miner.AddTxs(gen.Txs(400))
+	growEpochs(t, n1, []*Miner{miner}, 2)
+	wantEpoch, wantRoot := n1.NextEpoch(), n1.StateRoot()
+	if wantEpoch < 3 {
+		t.Fatalf("only reached epoch %d", wantEpoch-1)
+	}
+	if err := store1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: same epoch, same root, no genesis re-application.
+	n2, store2 := open()
+	defer store2.Close()
+	if n2.NextEpoch() != wantEpoch {
+		t.Fatalf("restart epoch %d, want %d", n2.NextEpoch(), wantEpoch)
+	}
+	if n2.StateRoot() != wantRoot {
+		t.Fatalf("restart root %s, want %s", n2.StateRoot().Short(), wantRoot.Short())
+	}
+	// The ledger must have replayed the canonical chains.
+	for c := uint32(0); c < 2; c++ {
+		if n2.Ledger().Height(c) < wantEpoch-1 {
+			t.Fatalf("chain %d restored to height %d", c, n2.Ledger().Height(c))
+		}
+	}
+	// And the node keeps processing new epochs after restart.
+	miner2 := NewMiner(n2, types.AddressFromUint64(1), 100)
+	miner2.AddTxs(gen.Txs(200))
+	growEpochs(t, n2, []*Miner{miner2}, wantEpoch)
+	if n2.NextEpoch() <= wantEpoch {
+		t.Fatal("node did not progress after restart")
+	}
+}
+
+// TestHandleMessageDispatch covers the message router: txs surface to the
+// caller, unknown types are ignored, block gossip feeds the ledger.
+func TestHandleMessageDispatch(t *testing.T) {
+	cfg := testConfig(1, core.MustNewScheduler(core.DefaultConfig()))
+	n, err := New("x", kvstore.NewMemory(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := p2p.NewNetwork(p2p.Config{})
+	defer net.Close()
+	ep, err := net.Join("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// MsgTxs returns the transactions.
+	txs, err := n.HandleMessage(ep, p2p.Message{Type: p2p.MsgTxs, Txs: []*types.Transaction{{Nonce: 1}}})
+	if err != nil || len(txs) != 1 {
+		t.Fatalf("MsgTxs: %v %d", err, len(txs))
+	}
+	// Unknown type is a no-op.
+	if _, err := n.HandleMessage(ep, p2p.Message{Type: p2p.MsgType(99)}); err != nil {
+		t.Fatal(err)
+	}
+	// A valid block lands in the ledger; a duplicate is benign.
+	miner := NewMiner(n, types.AddressFromUint64(1), 10)
+	b, err := miner.Mine(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.HandleMessage(ep, p2p.Message{Type: p2p.MsgBlock, Block: b}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.HandleMessage(ep, p2p.Message{Type: p2p.MsgBlock, Block: b}); err != nil {
+		t.Fatalf("duplicate gossip surfaced: %v", err)
+	}
+	if n.Ledger().Height(0) != 1 {
+		t.Fatal("gossiped block not added")
+	}
+	// MsgGetBlocks triggers a reply toward the requester.
+	requester, err := net.Join("req")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.HandleMessage(ep, p2p.Message{Type: p2p.MsgGetBlocks, From: "req", Height: 0}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-requester.Inbox():
+		if msg.Type != p2p.MsgBlocks || len(msg.Blocks) != 1 {
+			t.Fatalf("sync reply = %+v", msg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no sync reply")
+	}
+}
+
+// TestRestoreRejectsOutOfOrder covers the ledger restore contract.
+func TestRestoreRejectsOutOfOrder(t *testing.T) {
+	cfg := testConfig(1, core.MustNewScheduler(core.DefaultConfig()))
+	n, err := New("x", kvstore.NewMemory(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miner := NewMiner(n, types.AddressFromUint64(1), 10)
+	b1, err := miner.Mine(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SubmitBlock(b1); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := miner.Mine(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := dag.NewLedger(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Child before parent: rejected.
+	if err := fresh.Restore([]*types.Block{b2}, 0); err == nil {
+		t.Fatal("out-of-order restore accepted")
+	}
+	// Parent-first: accepted, canonical rebuilt.
+	if err := fresh.Restore([]*types.Block{b1, b2}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Height(0) != 2 || fresh.Finalized() != 1 {
+		t.Fatalf("restored height %d finalized %d", fresh.Height(0), fresh.Finalized())
+	}
+}

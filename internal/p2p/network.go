@@ -1,0 +1,196 @@
+// Package p2p simulates the peer-to-peer network the paper's cluster runs
+// on (14 nodes on 100 Mbps Ethernet, §VI-A). The simulation is in-process:
+// endpoints exchange messages over channels with configurable latency,
+// jitter, and loss. What the experiments need from the network — every node
+// eventually sees every block and independently derives the same schedule —
+// is preserved; wire-level details are out of scope by design (DESIGN.md).
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/nezha-dag/nezha/internal/types"
+)
+
+// MsgType discriminates network messages.
+type MsgType int
+
+// Message types.
+const (
+	// MsgBlock carries one freshly mined block (gossip).
+	MsgBlock MsgType = iota + 1
+	// MsgTxs carries client transactions toward miners.
+	MsgTxs
+	// MsgGetBlocks asks a peer for its canonical blocks above Height
+	// (block synchronization for late joiners).
+	MsgGetBlocks
+	// MsgBlocks answers MsgGetBlocks with a batch of blocks in
+	// parent-before-child order.
+	MsgBlocks
+)
+
+// Message is one network datagram.
+type Message struct {
+	From string
+	Type MsgType
+	// Block is set for MsgBlock.
+	Block *types.Block
+	// Txs is set for MsgTxs.
+	Txs []*types.Transaction
+	// Height is set for MsgGetBlocks: "send blocks above this height".
+	Height uint64
+	// Blocks is set for MsgBlocks.
+	Blocks []*types.Block
+}
+
+// Config tunes the simulated network.
+type Config struct {
+	// Latency is the base one-way delivery delay.
+	Latency time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter).
+	Jitter time.Duration
+	// LossRate drops messages with this probability (retransmission is
+	// the application's concern, mirroring gossip redundancy).
+	LossRate float64
+	// Seed drives the jitter/loss randomness.
+	Seed int64
+	// QueueLen is each endpoint's inbox capacity (senders drop when an
+	// inbox is full, like a saturated socket buffer).
+	QueueLen int
+}
+
+// DefaultConfig simulates a same-region LAN: 1 ms ± 1 ms, no loss.
+func DefaultConfig() Config {
+	return Config{Latency: time.Millisecond, Jitter: time.Millisecond, QueueLen: 1024}
+}
+
+// ErrDuplicateNode is returned when joining with a taken identifier.
+var ErrDuplicateNode = errors.New("p2p: duplicate node id")
+
+// Network is the in-process message fabric. Safe for concurrent use.
+type Network struct {
+	cfg Config
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	nodes   map[string]*Endpoint
+	pending sync.WaitGroup
+	closed  bool
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork(cfg Config) *Network {
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 1024
+	}
+	return &Network{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		nodes: make(map[string]*Endpoint),
+	}
+}
+
+// Endpoint is one node's attachment to the network.
+type Endpoint struct {
+	id    string
+	net   *Network
+	inbox chan Message
+}
+
+// Join attaches a new endpoint with the given id.
+func (n *Network) Join(id string) (*Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, taken := n.nodes[id]; taken {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateNode, id)
+	}
+	ep := &Endpoint{id: id, net: n, inbox: make(chan Message, n.cfg.QueueLen)}
+	n.nodes[id] = ep
+	return ep, nil
+}
+
+// Peers returns the ids of all joined nodes.
+func (n *Network) Peers() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.nodes))
+	for id := range n.nodes {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Close stops delivery; in-flight messages are awaited so no goroutine
+// leaks past Close.
+func (n *Network) Close() {
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+	n.pending.Wait()
+}
+
+// ID returns the endpoint's node id.
+func (e *Endpoint) ID() string { return e.id }
+
+// Inbox returns the receive channel.
+func (e *Endpoint) Inbox() <-chan Message { return e.inbox }
+
+// Broadcast sends a message to every other endpoint, each delivery subject
+// to latency, jitter, and loss.
+func (e *Endpoint) Broadcast(msg Message) {
+	msg.From = e.id
+	n := e.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	for id, peer := range n.nodes {
+		if id == e.id {
+			continue
+		}
+		n.deliverLocked(peer, msg)
+	}
+}
+
+// Send delivers a message to one peer; unknown peers are silently dropped,
+// as on a real lossy network.
+func (e *Endpoint) Send(to string, msg Message) {
+	msg.From = e.id
+	n := e.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	if peer, ok := n.nodes[to]; ok {
+		n.deliverLocked(peer, msg)
+	}
+}
+
+func (n *Network) deliverLocked(to *Endpoint, msg Message) {
+	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+		return
+	}
+	delay := n.cfg.Latency
+	if n.cfg.Jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+	}
+	n.pending.Add(1)
+	go func() {
+		defer n.pending.Done()
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		// Non-blocking: a full inbox drops the message, like a
+		// saturated socket buffer.
+		select {
+		case to.inbox <- msg:
+		default:
+		}
+	}()
+}

@@ -1,0 +1,116 @@
+package p2p
+
+import (
+	"testing"
+	"time"
+
+	"github.com/nezha-dag/nezha/internal/types"
+)
+
+func TestJoinAndDuplicate(t *testing.T) {
+	n := NewNetwork(Config{})
+	if _, err := n.Join("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Join("a"); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if _, err := n.Join("b"); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Peers()) != 2 {
+		t.Fatalf("peers = %v", n.Peers())
+	}
+	n.Close()
+}
+
+func TestBroadcastReachesAllButSender(t *testing.T) {
+	n := NewNetwork(Config{QueueLen: 16})
+	defer n.Close()
+	a, _ := n.Join("a")
+	b, _ := n.Join("b")
+	c, _ := n.Join("c")
+
+	blk := &types.Block{Header: types.BlockHeader{Nonce: 7}}
+	a.Broadcast(Message{Type: MsgBlock, Block: blk})
+
+	for _, peer := range []*Endpoint{b, c} {
+		select {
+		case msg := <-peer.Inbox():
+			if msg.From != "a" || msg.Type != MsgBlock || msg.Block.Hash() != blk.Hash() {
+				t.Fatalf("%s received %+v", peer.ID(), msg)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("%s never received the broadcast", peer.ID())
+		}
+	}
+	select {
+	case msg := <-a.Inbox():
+		t.Fatalf("sender received own broadcast: %+v", msg)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestSendTargeted(t *testing.T) {
+	n := NewNetwork(Config{})
+	defer n.Close()
+	a, _ := n.Join("a")
+	b, _ := n.Join("b")
+	c, _ := n.Join("c")
+
+	a.Send("b", Message{Type: MsgTxs, Txs: []*types.Transaction{{Nonce: 1}}})
+	select {
+	case msg := <-b.Inbox():
+		if len(msg.Txs) != 1 || msg.Txs[0].Nonce != 1 {
+			t.Fatalf("b received %+v", msg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("b never received the message")
+	}
+	select {
+	case <-c.Inbox():
+		t.Fatal("c received a targeted message")
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Unknown peer: silently dropped.
+	a.Send("nobody", Message{Type: MsgTxs})
+}
+
+func TestLatencyIsApplied(t *testing.T) {
+	n := NewNetwork(Config{Latency: 50 * time.Millisecond})
+	defer n.Close()
+	a, _ := n.Join("a")
+	b, _ := n.Join("b")
+	start := time.Now()
+	a.Send("b", Message{Type: MsgTxs})
+	<-b.Inbox()
+	if elapsed := time.Since(start); elapsed < 45*time.Millisecond {
+		t.Fatalf("delivered in %v despite 50ms latency", elapsed)
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	n := NewNetwork(Config{LossRate: 1.0})
+	defer n.Close()
+	a, _ := n.Join("a")
+	b, _ := n.Join("b")
+	a.Send("b", Message{Type: MsgTxs})
+	select {
+	case <-b.Inbox():
+		t.Fatal("message survived 100% loss")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestCloseStopsDelivery(t *testing.T) {
+	n := NewNetwork(Config{})
+	a, _ := n.Join("a")
+	b, _ := n.Join("b")
+	n.Close()
+	a.Send("b", Message{Type: MsgTxs})
+	select {
+	case <-b.Inbox():
+		t.Fatal("delivery after close")
+	case <-time.After(50 * time.Millisecond):
+	}
+}

@@ -1,0 +1,189 @@
+package rlp
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// encodeHex helpers for the canonical RLP test vectors from the Ethereum
+// wiki.
+func TestCanonicalVectors(t *testing.T) {
+	cases := []struct {
+		name string
+		item Item
+		want []byte
+	}{
+		{"empty string", String(nil), []byte{0x80}},
+		{"dog", String([]byte("dog")), []byte{0x83, 'd', 'o', 'g'}},
+		{"single byte", String([]byte{0x0f}), []byte{0x0f}},
+		{"byte 0x00", String([]byte{0x00}), []byte{0x00}},
+		{"byte 0x7f", String([]byte{0x7f}), []byte{0x7f}},
+		{"byte 0x80", String([]byte{0x80}), []byte{0x81, 0x80}},
+		{"empty list", List(), []byte{0xc0}},
+		{
+			"cat dog list",
+			List(String([]byte("cat")), String([]byte("dog"))),
+			[]byte{0xc8, 0x83, 'c', 'a', 't', 0x83, 'd', 'o', 'g'},
+		},
+		{
+			"set representation [[], [[]], [[], [[]]]]",
+			List(List(), List(List()), List(List(), List(List()))),
+			[]byte{0xc7, 0xc0, 0xc1, 0xc0, 0xc3, 0xc0, 0xc1, 0xc0},
+		},
+		{
+			"56-byte string uses long form",
+			String(bytes.Repeat([]byte{'a'}, 56)),
+			append([]byte{0xb8, 56}, bytes.Repeat([]byte{'a'}, 56)...),
+		},
+	}
+	for _, tc := range cases {
+		got := Encode(tc.item)
+		if !bytes.Equal(got, tc.want) {
+			t.Errorf("%s: encode = %x, want %x", tc.name, got, tc.want)
+		}
+		back, err := Decode(tc.want)
+		if err != nil {
+			t.Errorf("%s: decode: %v", tc.name, err)
+			continue
+		}
+		if !itemsEqual(back, tc.item) {
+			t.Errorf("%s: round trip mismatch", tc.name)
+		}
+	}
+}
+
+func TestUintVectors(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want []byte
+	}{
+		{0, []byte{0x80}},
+		{15, []byte{0x0f}},
+		{1024, []byte{0x82, 0x04, 0x00}},
+		{0xFFFFFFFF, []byte{0x84, 0xff, 0xff, 0xff, 0xff}},
+	}
+	for _, tc := range cases {
+		got := Encode(Uint(tc.v))
+		if !bytes.Equal(got, tc.want) {
+			t.Errorf("Uint(%d) = %x, want %x", tc.v, got, tc.want)
+		}
+		it, err := Decode(tc.want)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		back, err := DecodeUint(it.Str)
+		if err != nil || back != tc.v {
+			t.Errorf("DecodeUint(%x) = %d, %v; want %d", it.Str, back, err, tc.v)
+		}
+	}
+	if _, err := DecodeUint([]byte{0, 1}); err == nil {
+		t.Error("leading zero accepted")
+	}
+	if _, err := DecodeUint(bytes.Repeat([]byte{1}, 9)); err == nil {
+		t.Error("9-byte integer accepted")
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty input":               {},
+		"truncated short string":    {0x85, 'a', 'b'},
+		"truncated long string len": {0xb9, 0x01},
+		"truncated list":            {0xc5, 0x83, 'a'},
+		"trailing bytes":            {0x80, 0x00},
+		"non-canonical single byte": {0x81, 0x05},
+		"non-canonical long len":    {0xb8, 0x01, 'x'},
+		"long len leading zero":     {0xb9, 0x00, 0x38},
+	}
+	for name, input := range cases {
+		if _, err := Decode(input); err == nil {
+			t.Errorf("%s: accepted %x", name, input)
+		}
+	}
+	// Specific error identities for the common cases.
+	if _, err := Decode([]byte{0x80, 0x00}); !errors.Is(err, ErrTrailingBytes) {
+		t.Errorf("trailing error = %v", err)
+	}
+	if _, err := Decode([]byte{0x85}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated error = %v", err)
+	}
+}
+
+func randomItem(rng *rand.Rand, depth int) Item {
+	if depth == 0 || rng.Intn(2) == 0 {
+		n := rng.Intn(70)
+		s := make([]byte, n)
+		rng.Read(s)
+		return String(s)
+	}
+	n := rng.Intn(5)
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = randomItem(rng, depth-1)
+	}
+	return Item{K: KindList, List: items}
+}
+
+func itemsEqual(a, b Item) bool {
+	if a.K != b.K {
+		return false
+	}
+	if a.K == KindString {
+		return bytes.Equal(a.Str, b.Str)
+	}
+	if len(a.List) != len(b.List) {
+		return false
+	}
+	for i := range a.List {
+		if !itemsEqual(a.List[i], b.List[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRoundTripRandom: encode∘decode is the identity on random nested items.
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 500; trial++ {
+		it := randomItem(rng, 4)
+		back, err := Decode(Encode(it))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !itemsEqual(it, back) {
+			t.Fatalf("trial %d: round trip mismatch", trial)
+		}
+	}
+}
+
+// TestUintRoundTripQuick covers the integer codec with testing/quick.
+func TestUintRoundTripQuick(t *testing.T) {
+	f := func(v uint64) bool {
+		got, err := DecodeUint(Uint(v).Str)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEncodingIsInjective: distinct items must encode distinctly (the MPT
+// hashes encodings, so collisions would forge state roots).
+func TestEncodingIsInjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	seen := make(map[string]Item)
+	for trial := 0; trial < 2000; trial++ {
+		it := randomItem(rng, 3)
+		enc := string(Encode(it))
+		if prev, ok := seen[enc]; ok {
+			if !itemsEqual(prev, it) {
+				t.Fatalf("collision: %+v and %+v share encoding %x", prev, it, enc)
+			}
+		}
+		seen[enc] = it
+	}
+}

@@ -1,0 +1,236 @@
+package statedb
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/nezha-dag/nezha/internal/kvstore"
+	"github.com/nezha-dag/nezha/internal/mpt"
+	"github.com/nezha-dag/nezha/internal/types"
+)
+
+func keyN(n uint64) types.Key { return types.KeyFromUint64(n) }
+
+func TestOpenEmpty(t *testing.T) {
+	db := Open(kvstore.NewMemory(), mpt.EmptyRoot)
+	if db.Root() != mpt.EmptyRoot {
+		t.Fatal("fresh db root not empty")
+	}
+	v, err := db.Get(keyN(1))
+	if err != nil || v != nil {
+		t.Fatalf("get on empty = %q, %v", v, err)
+	}
+}
+
+func TestCommitAndRead(t *testing.T) {
+	db := Open(kvstore.NewMemory(), mpt.EmptyRoot)
+	root, err := db.Commit([]types.WriteEntry{
+		{Key: keyN(1), Value: []byte("a")},
+		{Key: keyN(2), Value: []byte("b")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root == mpt.EmptyRoot || root != db.Root() {
+		t.Fatal("root not updated")
+	}
+	v, err := db.Get(keyN(1))
+	if err != nil || string(v) != "a" {
+		t.Fatalf("get = %q, %v", v, err)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	db := Open(kvstore.NewMemory(), mpt.EmptyRoot)
+	if _, err := db.Commit([]types.WriteEntry{{Key: keyN(1), Value: []byte("old")}}); err != nil {
+		t.Fatal(err)
+	}
+	snap := db.Snapshot()
+
+	if _, err := db.Commit([]types.WriteEntry{{Key: keyN(1), Value: []byte("new")}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The snapshot still sees the old value; head sees the new one.
+	v, err := snap.Get(keyN(1))
+	if err != nil || string(v) != "old" {
+		t.Fatalf("snapshot read = %q, %v", v, err)
+	}
+	head, _ := db.Get(keyN(1))
+	if string(head) != "new" {
+		t.Fatalf("head read = %q", head)
+	}
+	if snap.Root() == db.Root() {
+		t.Fatal("roots must differ")
+	}
+}
+
+func TestSnapshotMissingKeyIsNil(t *testing.T) {
+	db := Open(kvstore.NewMemory(), mpt.EmptyRoot)
+	snap := db.Snapshot()
+	v, err := snap.Get(keyN(42))
+	if err != nil || v != nil {
+		t.Fatalf("missing = %q, %v", v, err)
+	}
+	// Cached nil must stay nil.
+	v, err = snap.Get(keyN(42))
+	if err != nil || v != nil {
+		t.Fatalf("cached missing = %q, %v", v, err)
+	}
+}
+
+func TestSnapshotConcurrentReads(t *testing.T) {
+	db := Open(kvstore.NewMemory(), mpt.EmptyRoot)
+	var writes []types.WriteEntry
+	for i := uint64(0); i < 200; i++ {
+		writes = append(writes, types.WriteEntry{Key: keyN(i), Value: []byte(fmt.Sprintf("v%d", i))})
+	}
+	if _, err := db.Commit(writes); err != nil {
+		t.Fatal(err)
+	}
+	snap := db.Snapshot()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(0); i < 200; i++ {
+				v, err := snap.Get(keyN(i))
+				if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+					t.Errorf("key %d = %q, %v", i, v, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestRootsDeterministicAcrossStores(t *testing.T) {
+	// Two independent databases applying the same writes must converge to
+	// the same root — the cross-node state agreement the validation phase
+	// checks (§III-B).
+	writes := []types.WriteEntry{
+		{Key: keyN(3), Value: []byte("x")},
+		{Key: keyN(1), Value: []byte("y")},
+		{Key: keyN(2), Value: []byte("z")},
+	}
+	db1 := Open(kvstore.NewMemory(), mpt.EmptyRoot)
+	db2 := Open(kvstore.NewMemory(), mpt.EmptyRoot)
+	r1, err := db1.Commit(writes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different grouping of the same writes.
+	if _, err := db2.Commit(writes[:1]); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := db2.Commit(writes[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatalf("roots diverge: %s vs %s", r1, r2)
+	}
+}
+
+func TestReopenFromPersistedRoot(t *testing.T) {
+	dir := t.TempDir()
+	store, err := kvstore.OpenLSM(dir, kvstore.DefaultLSMOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := Open(store, mpt.EmptyRoot)
+	root, err := db.Commit([]types.WriteEntry{{Key: keyN(7), Value: []byte("persisted")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := kvstore.OpenLSM(dir, kvstore.DefaultLSMOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	db2 := Open(store2, root)
+	v, err := db2.Get(keyN(7))
+	if err != nil || string(v) != "persisted" {
+		t.Fatalf("reopened get = %q, %v", v, err)
+	}
+}
+
+func TestIterate(t *testing.T) {
+	db := Open(kvstore.NewMemory(), mpt.EmptyRoot)
+	want := map[types.Key]string{}
+	var writes []types.WriteEntry
+	for i := uint64(0); i < 20; i++ {
+		k := keyN(i)
+		want[k] = fmt.Sprintf("v%d", i)
+		writes = append(writes, types.WriteEntry{Key: k, Value: []byte(want[k])})
+	}
+	if _, err := db.Commit(writes); err != nil {
+		t.Fatal(err)
+	}
+	got := map[types.Key]string{}
+	var prev types.Key
+	first := true
+	err := db.Iterate(func(k types.Key, v []byte) bool {
+		if !first && !prev.Less(k) {
+			t.Fatalf("iteration out of order")
+		}
+		prev, first = k, false
+		got[k] = string(v)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("iterated %d, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %s: %q != %q", k, got[k], v)
+		}
+	}
+}
+
+func TestCommitEmptyWriteSet(t *testing.T) {
+	db := Open(kvstore.NewMemory(), mpt.EmptyRoot)
+	r1, err := db.Commit([]types.WriteEntry{{Key: keyN(1), Value: []byte("v")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := db.Commit(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("empty commit changed the root")
+	}
+}
+
+func TestDeleteViaEmptyValue(t *testing.T) {
+	db := Open(kvstore.NewMemory(), mpt.EmptyRoot)
+	if _, err := db.Commit([]types.WriteEntry{{Key: keyN(1), Value: []byte("v")}}); err != nil {
+		t.Fatal(err)
+	}
+	root, err := db.Commit([]types.WriteEntry{{Key: keyN(1), Value: nil}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != mpt.EmptyRoot {
+		t.Fatal("deleting the only key must restore the empty root")
+	}
+	v, err := db.Get(keyN(1))
+	if err != nil || v != nil {
+		t.Fatalf("deleted key = %q", v)
+	}
+	if !bytes.Equal(nil, v) {
+		t.Fatal("deleted value not nil")
+	}
+}

@@ -1,0 +1,96 @@
+package types
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// AddressLen is the byte length of an account Address.
+const AddressLen = 20
+
+// Address is a 20-byte account address, mirroring the account model of
+// Ethereum-style chains that the paper's prototype targets.
+type Address [AddressLen]byte
+
+// ZeroAddress is the all-zero address.
+var ZeroAddress Address
+
+// Bytes returns the address as a byte slice.
+func (a Address) Bytes() []byte { return a[:] }
+
+// Hex returns the lowercase hex encoding of the address.
+func (a Address) Hex() string { return hex.EncodeToString(a[:]) }
+
+// String implements fmt.Stringer.
+func (a Address) String() string { return "0x" + a.Hex() }
+
+// IsZero reports whether the address is the zero address.
+func (a Address) IsZero() bool { return a == ZeroAddress }
+
+// AddressFromBytes builds an Address from b, which must be exactly
+// AddressLen bytes long.
+func AddressFromBytes(b []byte) (Address, error) {
+	var a Address
+	if len(b) != AddressLen {
+		return a, fmt.Errorf("types: address must be %d bytes, got %d", AddressLen, len(b))
+	}
+	copy(a[:], b)
+	return a, nil
+}
+
+// AddressFromUint64 derives a deterministic address from a numeric account
+// id. Workload generators use it to map account indices onto addresses.
+func AddressFromUint64(n uint64) Address {
+	h := HashConcat([]byte("account"), binary.BigEndian.AppendUint64(nil, n))
+	var a Address
+	copy(a[:], h[:AddressLen])
+	return a
+}
+
+// KeyLen is the byte length of a state Key.
+const KeyLen = 32
+
+// Key identifies one cell of blockchain state — the unit of conflict in the
+// paper ("address" in the paper's terminology covers both account addresses
+// and the storage slots behind them; concurrency control operates at this
+// granularity). A Key is the hash of (contract address, storage slot).
+type Key [KeyLen]byte
+
+// StorageKey derives the state Key for a storage slot of a contract.
+func StorageKey(contract Address, slot Hash) Key {
+	h := HashConcat(contract[:], slot[:])
+	return Key(h)
+}
+
+// BalanceKey derives the state Key holding the native balance of an account.
+func BalanceKey(account Address) Key {
+	h := HashConcat([]byte("balance"), account[:])
+	return Key(h)
+}
+
+// KeyFromUint64 derives a deterministic Key from a numeric id, used by
+// synthetic workloads and tests.
+func KeyFromUint64(n uint64) Key {
+	h := HashConcat([]byte("key"), binary.BigEndian.AppendUint64(nil, n))
+	return Key(h)
+}
+
+// Bytes returns the key as a byte slice.
+func (k Key) Bytes() []byte { return k[:] }
+
+// Hex returns the lowercase hex encoding of the key.
+func (k Key) Hex() string { return hex.EncodeToString(k[:]) }
+
+// String implements fmt.Stringer.
+func (k Key) String() string { return "0x" + k.Hex() }
+
+// Compare orders keys lexicographically, returning -1, 0, or +1. The
+// deterministic order of keys underpins the determinism of the whole
+// concurrency-control pipeline (every node must derive an identical
+// schedule).
+func (k Key) Compare(o Key) int { return bytes.Compare(k[:], o[:]) }
+
+// Less reports whether k sorts before o.
+func (k Key) Less(o Key) bool { return k.Compare(o) < 0 }

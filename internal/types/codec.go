@@ -1,0 +1,220 @@
+package types
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/nezha-dag/nezha/internal/rlp"
+)
+
+// RLP wire/storage codec for transactions and blocks. The in-process
+// simulation passes pointers, but durable block storage (node restarts) and
+// any real wire format need canonical bytes; RLP keeps the encoding in the
+// family the paper's Ethereum-derived stack uses.
+
+// ErrDecode is returned for malformed encodings.
+var ErrDecode = errors.New("types: malformed encoding")
+
+// EncodeTx serializes a transaction (including ID and signature — this is
+// the storage form, not the signing preimage).
+func EncodeTx(tx *Transaction) []byte {
+	return rlp.Encode(txItem(tx))
+}
+
+func txItem(tx *Transaction) rlp.Item {
+	return rlp.List(
+		rlp.Uint(uint64(tx.ID)),
+		rlp.String(tx.From[:]),
+		rlp.String(tx.To[:]),
+		rlp.Uint(tx.Nonce),
+		rlp.Uint(tx.Value),
+		rlp.Uint(tx.Gas),
+		rlp.String(tx.Payload),
+		rlp.String(tx.Sig),
+	)
+}
+
+// DecodeTx parses EncodeTx output.
+func DecodeTx(b []byte) (*Transaction, error) {
+	item, err := rlp.Decode(b)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDecode, err)
+	}
+	return txFromItem(item)
+}
+
+func txFromItem(item rlp.Item) (*Transaction, error) {
+	if item.K != rlp.KindList || len(item.List) != 8 {
+		return nil, fmt.Errorf("%w: transaction shape", ErrDecode)
+	}
+	for i, f := range item.List {
+		if f.K != rlp.KindString {
+			return nil, fmt.Errorf("%w: transaction field %d is a list", ErrDecode, i)
+		}
+	}
+	id, err := rlp.DecodeUint(item.List[0].Str)
+	if err != nil {
+		return nil, fmt.Errorf("%w: id: %v", ErrDecode, err)
+	}
+	from, err := AddressFromBytes(item.List[1].Str)
+	if err != nil {
+		return nil, fmt.Errorf("%w: from: %v", ErrDecode, err)
+	}
+	to, err := AddressFromBytes(item.List[2].Str)
+	if err != nil {
+		return nil, fmt.Errorf("%w: to: %v", ErrDecode, err)
+	}
+	nonce, err := rlp.DecodeUint(item.List[3].Str)
+	if err != nil {
+		return nil, fmt.Errorf("%w: nonce: %v", ErrDecode, err)
+	}
+	value, err := rlp.DecodeUint(item.List[4].Str)
+	if err != nil {
+		return nil, fmt.Errorf("%w: value: %v", ErrDecode, err)
+	}
+	gas, err := rlp.DecodeUint(item.List[5].Str)
+	if err != nil {
+		return nil, fmt.Errorf("%w: gas: %v", ErrDecode, err)
+	}
+	tx := &Transaction{
+		ID: TxID(id), From: from, To: to,
+		Nonce: nonce, Value: value, Gas: gas,
+	}
+	if len(item.List[6].Str) > 0 {
+		tx.Payload = append([]byte(nil), item.List[6].Str...)
+	}
+	if len(item.List[7].Str) > 0 {
+		tx.Sig = append([]byte(nil), item.List[7].Str...)
+	}
+	return tx, nil
+}
+
+// EncodeBlock serializes a block with its tips and transactions.
+func EncodeBlock(b *Block) []byte {
+	h := &b.Header
+	tips := make([]rlp.Item, len(b.Tips))
+	for i, t := range b.Tips {
+		tips[i] = rlp.String(t[:])
+	}
+	txs := make([]rlp.Item, len(b.Txs))
+	for i, tx := range b.Txs {
+		txs[i] = txItem(tx)
+	}
+	return rlp.Encode(rlp.List(
+		rlp.String(h.TipsRoot[:]),
+		rlp.String(h.TxRoot[:]),
+		rlp.String(h.StateRoot[:]),
+		rlp.Uint(h.Time),
+		rlp.String(h.Miner[:]),
+		rlp.Uint(h.Nonce),
+		rlp.Uint(uint64(h.ChainID)),
+		rlp.Uint(h.Height),
+		rlp.String(h.ParentHash[:]),
+		rlp.Uint(h.Rank),
+		rlp.Uint(h.NextRank),
+		rlp.List(tips...),
+		rlp.List(txs...),
+	))
+}
+
+// DecodeBlock parses EncodeBlock output.
+func DecodeBlock(raw []byte) (*Block, error) {
+	item, err := rlp.Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDecode, err)
+	}
+	if item.K != rlp.KindList || len(item.List) != 13 {
+		return nil, fmt.Errorf("%w: block shape", ErrDecode)
+	}
+	b := &Block{}
+	h := &b.Header
+
+	hashField := func(i int, dst *Hash) error {
+		f := item.List[i]
+		if f.K != rlp.KindString || len(f.Str) != HashLen {
+			return fmt.Errorf("%w: block field %d is not a hash", ErrDecode, i)
+		}
+		copy(dst[:], f.Str)
+		return nil
+	}
+	uintField := func(i int) (uint64, error) {
+		f := item.List[i]
+		if f.K != rlp.KindString {
+			return 0, fmt.Errorf("%w: block field %d is a list", ErrDecode, i)
+		}
+		return rlp.DecodeUint(f.Str)
+	}
+
+	if err := hashField(0, &h.TipsRoot); err != nil {
+		return nil, err
+	}
+	if err := hashField(1, &h.TxRoot); err != nil {
+		return nil, err
+	}
+	if err := hashField(2, &h.StateRoot); err != nil {
+		return nil, err
+	}
+	var v uint64
+	if v, err = uintField(3); err != nil {
+		return nil, err
+	}
+	h.Time = v
+	miner := item.List[4]
+	if miner.K != rlp.KindString {
+		return nil, fmt.Errorf("%w: miner", ErrDecode)
+	}
+	if h.Miner, err = AddressFromBytes(miner.Str); err != nil {
+		return nil, fmt.Errorf("%w: miner: %v", ErrDecode, err)
+	}
+	if v, err = uintField(5); err != nil {
+		return nil, err
+	}
+	h.Nonce = v
+	if v, err = uintField(6); err != nil {
+		return nil, err
+	}
+	if v > 1<<32-1 {
+		return nil, fmt.Errorf("%w: chain id overflow", ErrDecode)
+	}
+	h.ChainID = uint32(v)
+	if v, err = uintField(7); err != nil {
+		return nil, err
+	}
+	h.Height = v
+	if err := hashField(8, &h.ParentHash); err != nil {
+		return nil, err
+	}
+	if v, err = uintField(9); err != nil {
+		return nil, err
+	}
+	h.Rank = v
+	if v, err = uintField(10); err != nil {
+		return nil, err
+	}
+	h.NextRank = v
+
+	tipsItem := item.List[11]
+	if tipsItem.K != rlp.KindList {
+		return nil, fmt.Errorf("%w: tips", ErrDecode)
+	}
+	b.Tips = make([]Hash, len(tipsItem.List))
+	for i, t := range tipsItem.List {
+		if t.K != rlp.KindString || len(t.Str) != HashLen {
+			return nil, fmt.Errorf("%w: tip %d", ErrDecode, i)
+		}
+		copy(b.Tips[i][:], t.Str)
+	}
+	txsItem := item.List[12]
+	if txsItem.K != rlp.KindList {
+		return nil, fmt.Errorf("%w: txs", ErrDecode)
+	}
+	b.Txs = make([]*Transaction, len(txsItem.List))
+	for i, ti := range txsItem.List {
+		tx, err := txFromItem(ti)
+		if err != nil {
+			return nil, fmt.Errorf("%w: tx %d: %v", ErrDecode, i, err)
+		}
+		b.Txs[i] = tx
+	}
+	return b, nil
+}

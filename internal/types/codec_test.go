@@ -1,0 +1,136 @@
+package types
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomTx(rng *rand.Rand) *Transaction {
+	tx := &Transaction{
+		ID:    TxID(rng.Uint64()),
+		From:  AddressFromUint64(rng.Uint64()),
+		To:    AddressFromUint64(rng.Uint64()),
+		Nonce: rng.Uint64(),
+		Value: rng.Uint64(),
+		Gas:   rng.Uint64(),
+	}
+	if rng.Intn(2) == 0 {
+		tx.Payload = make([]byte, rng.Intn(40))
+		rng.Read(tx.Payload)
+	}
+	if rng.Intn(2) == 0 {
+		tx.Sig = make([]byte, 96)
+		rng.Read(tx.Sig)
+	}
+	return tx
+}
+
+func txEqual(a, b *Transaction) bool {
+	return a.ID == b.ID && a.From == b.From && a.To == b.To &&
+		a.Nonce == b.Nonce && a.Value == b.Value && a.Gas == b.Gas &&
+		string(a.Payload) == string(b.Payload) && string(a.Sig) == string(b.Sig)
+}
+
+func TestTxCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		tx := randomTx(rng)
+		back, err := DecodeTx(EncodeTx(tx))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !txEqual(tx, back) {
+			t.Fatalf("trial %d: round trip mismatch", trial)
+		}
+		// Hash stability across the codec (the signing preimage must be
+		// byte-identical).
+		if tx.Hash() != back.Hash() {
+			t.Fatalf("trial %d: hash changed across codec", trial)
+		}
+	}
+}
+
+func TestBlockCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		b := &Block{
+			Header: BlockHeader{
+				TipsRoot:   HashBytes([]byte{byte(trial), 1}),
+				TxRoot:     HashBytes([]byte{byte(trial), 2}),
+				StateRoot:  HashBytes([]byte{byte(trial), 3}),
+				Time:       rng.Uint64(),
+				Miner:      AddressFromUint64(rng.Uint64()),
+				Nonce:      rng.Uint64(),
+				ChainID:    rng.Uint32() % 64,
+				Height:     rng.Uint64(),
+				ParentHash: HashBytes([]byte{byte(trial), 4}),
+				Rank:       rng.Uint64(),
+				NextRank:   rng.Uint64(),
+			},
+		}
+		for i := 0; i < rng.Intn(4); i++ {
+			b.Tips = append(b.Tips, HashBytes([]byte{byte(trial), byte(i), 5}))
+		}
+		for i := 0; i < rng.Intn(5); i++ {
+			b.Txs = append(b.Txs, randomTx(rng))
+		}
+		back, err := DecodeBlock(EncodeBlock(b))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if back.Header != b.Header {
+			t.Fatalf("trial %d: header mismatch", trial)
+		}
+		if back.Hash() != b.Hash() {
+			t.Fatalf("trial %d: block hash changed", trial)
+		}
+		if len(back.Tips) != len(b.Tips) || len(back.Txs) != len(b.Txs) {
+			t.Fatalf("trial %d: payload sizes differ", trial)
+		}
+		for i := range b.Tips {
+			if back.Tips[i] != b.Tips[i] {
+				t.Fatalf("trial %d: tip %d differs", trial, i)
+			}
+		}
+		for i := range b.Txs {
+			if !txEqual(back.Txs[i], b.Txs[i]) {
+				t.Fatalf("trial %d: tx %d differs", trial, i)
+			}
+		}
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	inputs := [][]byte{
+		nil,
+		{0x01},
+		{0xc0},                   // empty list
+		EncodeTx(&Transaction{}), // tx encoding is not a block
+	}
+	for i, raw := range inputs {
+		if _, err := DecodeBlock(raw); err == nil {
+			t.Errorf("input %d decoded as block", i)
+		}
+	}
+	if _, err := DecodeTx([]byte{0xc0}); err == nil {
+		t.Error("empty list decoded as tx")
+	}
+	// Truncated valid encoding.
+	full := EncodeBlock(&Block{Header: BlockHeader{}})
+	if _, err := DecodeBlock(full[:len(full)-2]); err == nil {
+		t.Error("truncated block decoded")
+	}
+}
+
+// TestTxCodecQuick drives the codec through testing/quick.
+func TestTxCodecQuick(t *testing.T) {
+	f := func(id, nonce, value, gas uint64, payload []byte) bool {
+		tx := &Transaction{ID: TxID(id), Nonce: nonce, Value: value, Gas: gas, Payload: payload}
+		back, err := DecodeTx(EncodeTx(tx))
+		return err == nil && txEqual(tx, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// TxID identifies a transaction within one epoch. IDs are assigned after the
+// epoch's block set is fixed: blocks are visited in the DAG's deterministic
+// total order and transactions are numbered consecutively, so every node
+// assigns identical IDs. The paper's ordering rules ("determined according
+// to their subscripts", §IV-C) break ties by this id.
+type TxID uint64
+
+// Transaction is a signed state-transition request. Payload is the calldata
+// handed to the execution engine (for contract calls: a 4-byte selector
+// followed by arguments); for plain value transfers Payload is empty and
+// Value is moved from From to To.
+type Transaction struct {
+	// ID is the epoch-local identifier. It is not part of the signed,
+	// hashed content: it is assigned when the transaction's block obtains
+	// its position in the epoch order.
+	ID TxID
+
+	From    Address
+	To      Address
+	Nonce   uint64
+	Value   uint64
+	Gas     uint64
+	Payload []byte
+
+	// Sig is the transaction signature. The reproduction signs with a
+	// deterministic HMAC-style construction (see internal/crypto within
+	// the node pipeline); consensus-layer tests verify it, while the
+	// concurrency-control benchmarks skip signing to isolate the phases
+	// the paper measures.
+	Sig []byte
+
+	hash *Hash // memoized content hash
+}
+
+// SigningContent returns the canonical byte encoding of the transaction
+// fields covered by the hash and signature.
+func (t *Transaction) SigningContent() []byte {
+	buf := make([]byte, 0, 2*AddressLen+3*8+len(t.Payload))
+	buf = append(buf, t.From[:]...)
+	buf = append(buf, t.To[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, t.Nonce)
+	buf = binary.BigEndian.AppendUint64(buf, t.Value)
+	buf = binary.BigEndian.AppendUint64(buf, t.Gas)
+	buf = append(buf, t.Payload...)
+	return buf
+}
+
+// Hash returns the content hash of the transaction, memoizing the result.
+// The hash covers everything except ID and Sig.
+func (t *Transaction) Hash() Hash {
+	if t.hash != nil {
+		return *t.hash
+	}
+	h := HashBytes(t.SigningContent())
+	t.hash = &h
+	return h
+}
+
+// String implements fmt.Stringer.
+func (t *Transaction) String() string {
+	return fmt.Sprintf("tx#%d %s->%s nonce=%d value=%d", t.ID, t.From.Hex()[:8], t.To.Hex()[:8], t.Nonce, t.Value)
+}
+
+// ReadEntry records one read performed during speculative execution: the
+// state key and the value observed in the epoch snapshot.
+type ReadEntry struct {
+	Key   Key
+	Value []byte
+}
+
+// WriteEntry records one write performed during speculative execution: the
+// state key and the value the transaction intends to install.
+type WriteEntry struct {
+	Key   Key
+	Value []byte
+}
+
+// SimResult is the outcome of speculatively executing one transaction
+// against the epoch's state snapshot (the "concurrent execution phase" of
+// §III-B). Reads and Writes are deduplicated per key and sorted by key so
+// that downstream graph construction is deterministic.
+type SimResult struct {
+	Tx      *Transaction
+	Reads   []ReadEntry
+	Writes  []WriteEntry
+	GasUsed uint64
+	// Err is non-nil when the simulation itself failed (out of gas,
+	// explicit revert). Failed simulations never enter concurrency
+	// control; the node records them as execution aborts.
+	Err error
+}
+
+// ReadKeys returns the read set RS(T) as keys only.
+func (r *SimResult) ReadKeys() []Key {
+	keys := make([]Key, len(r.Reads))
+	for i, e := range r.Reads {
+		keys[i] = e.Key
+	}
+	return keys
+}
+
+// WriteKeys returns the write set WS(T) as keys only.
+func (r *SimResult) WriteKeys() []Key {
+	keys := make([]Key, len(r.Writes))
+	for i, e := range r.Writes {
+		keys[i] = e.Key
+	}
+	return keys
+}
+
+// ReadsKey reports whether the transaction read the given key.
+func (r *SimResult) ReadsKey(k Key) bool {
+	for _, e := range r.Reads {
+		if e.Key == k {
+			return true
+		}
+	}
+	return false
+}
+
+// WritesKey reports whether the transaction wrote the given key.
+func (r *SimResult) WritesKey(k Key) bool {
+	for _, e := range r.Writes {
+		if e.Key == k {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,95 @@
+package types
+
+import (
+	"errors"
+	"testing"
+)
+
+func makeTxs(n int) []*Transaction {
+	txs := make([]*Transaction, n)
+	for i := range txs {
+		txs[i] = &Transaction{Nonce: uint64(i + 1)}
+	}
+	return txs
+}
+
+func TestTxProofAllPositionsAllSizes(t *testing.T) {
+	// Cover even, odd, and power-of-two tree sizes, every position.
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 13} {
+		txs := makeTxs(n)
+		root := ComputeTxRoot(txs)
+		for i := 0; i < n; i++ {
+			proof, err := ProveTx(txs, i)
+			if err != nil {
+				t.Fatalf("n=%d i=%d: %v", n, i, err)
+			}
+			if err := VerifyTxProof(root, txs[i].Hash(), proof); err != nil {
+				t.Fatalf("n=%d i=%d: %v", n, i, err)
+			}
+		}
+	}
+}
+
+func TestTxProofRejectsForgery(t *testing.T) {
+	txs := makeTxs(7)
+	root := ComputeTxRoot(txs)
+	proof, err := ProveTx(txs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong transaction at the proven position.
+	other := &Transaction{Nonce: 999}
+	if err := VerifyTxProof(root, other.Hash(), proof); !errors.Is(err, ErrInvalidTxProof) {
+		t.Fatalf("forged tx accepted: %v", err)
+	}
+	// Tampered sibling.
+	bad := &TxProof{Index: proof.Index, Siblings: append([]Hash(nil), proof.Siblings...)}
+	bad.Siblings[0][0] ^= 1
+	if err := VerifyTxProof(root, txs[3].Hash(), bad); !errors.Is(err, ErrInvalidTxProof) {
+		t.Fatalf("tampered sibling accepted: %v", err)
+	}
+	// Wrong index.
+	bad = &TxProof{Index: proof.Index + 1, Siblings: proof.Siblings}
+	if err := VerifyTxProof(root, txs[3].Hash(), bad); !errors.Is(err, ErrInvalidTxProof) {
+		t.Fatalf("shifted index accepted: %v", err)
+	}
+	// Index outside the tree.
+	bad = &TxProof{Index: 64, Siblings: proof.Siblings}
+	if err := VerifyTxProof(root, txs[3].Hash(), bad); !errors.Is(err, ErrInvalidTxProof) {
+		t.Fatalf("oversized index accepted: %v", err)
+	}
+	// Wrong root.
+	otherRoot := ComputeTxRoot(makeTxs(6))
+	if err := VerifyTxProof(otherRoot, txs[3].Hash(), proof); !errors.Is(err, ErrInvalidTxProof) {
+		t.Fatalf("wrong root accepted: %v", err)
+	}
+	// Nil proof.
+	if err := VerifyTxProof(root, txs[3].Hash(), nil); !errors.Is(err, ErrInvalidTxProof) {
+		t.Fatalf("nil proof accepted: %v", err)
+	}
+}
+
+func TestProveTxBounds(t *testing.T) {
+	txs := makeTxs(3)
+	if _, err := ProveTx(txs, -1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := ProveTx(txs, 3); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+// TestTxProofMatchesBlockRoot ties the proof to the block structure: a
+// proof verified against a mined block's header TxRoot.
+func TestTxProofMatchesBlockRoot(t *testing.T) {
+	txs := makeTxs(5)
+	b := &Block{Header: BlockHeader{TxRoot: ComputeTxRoot(txs)}, Txs: txs}
+	proof, err := ProveTx(b.Txs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyTxProof(b.Header.TxRoot, b.Txs[2].Hash(), proof); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,349 @@
+package types
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashBytes(t *testing.T) {
+	h1 := HashBytes([]byte("hello"))
+	h2 := HashBytes([]byte("hello"))
+	h3 := HashBytes([]byte("world"))
+	if h1 != h2 {
+		t.Fatal("hash not deterministic")
+	}
+	if h1 == h3 {
+		t.Fatal("distinct inputs collided")
+	}
+	if h1.IsZero() {
+		t.Fatal("digest of non-empty input is zero")
+	}
+}
+
+func TestHashConcatMatchesSingleBuffer(t *testing.T) {
+	a, b, c := []byte("aa"), []byte("bb"), []byte("cc")
+	want := HashBytes(bytes.Join([][]byte{a, b, c}, nil))
+	got := HashConcat(a, b, c)
+	if got != want {
+		t.Fatalf("HashConcat = %s, want %s", got, want)
+	}
+}
+
+func TestHashHexRoundTrip(t *testing.T) {
+	h := HashBytes([]byte("round trip"))
+	parsed, err := HashFromHex(h.String())
+	if err != nil {
+		t.Fatalf("HashFromHex: %v", err)
+	}
+	if parsed != h {
+		t.Fatalf("round trip mismatch: %s != %s", parsed, h)
+	}
+	if _, err := HashFromHex("0x1234"); err == nil {
+		t.Fatal("short hex accepted")
+	}
+	if _, err := HashFromHex("zz"); err == nil {
+		t.Fatal("invalid hex accepted")
+	}
+}
+
+func TestAddressFromBytes(t *testing.T) {
+	b := make([]byte, AddressLen)
+	b[0] = 0xab
+	a, err := AddressFromBytes(b)
+	if err != nil {
+		t.Fatalf("AddressFromBytes: %v", err)
+	}
+	if a[0] != 0xab {
+		t.Fatal("bytes not copied")
+	}
+	if _, err := AddressFromBytes(b[:10]); err == nil {
+		t.Fatal("short slice accepted")
+	}
+}
+
+func TestAddressFromUint64Deterministic(t *testing.T) {
+	if AddressFromUint64(7) != AddressFromUint64(7) {
+		t.Fatal("not deterministic")
+	}
+	if AddressFromUint64(7) == AddressFromUint64(8) {
+		t.Fatal("distinct ids collided")
+	}
+}
+
+func TestKeyDerivationsDisjoint(t *testing.T) {
+	acct := AddressFromUint64(1)
+	k1 := BalanceKey(acct)
+	k2 := StorageKey(acct, HashBytes([]byte("slot0")))
+	k3 := KeyFromUint64(1)
+	if k1 == k2 || k1 == k3 || k2 == k3 {
+		t.Fatal("key namespaces collided")
+	}
+}
+
+func TestKeyCompare(t *testing.T) {
+	var a, b Key
+	b[31] = 1
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Fatal("Compare ordering wrong")
+	}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("Less ordering wrong")
+	}
+}
+
+func TestTransactionHashMemoizedAndStable(t *testing.T) {
+	tx := &Transaction{From: AddressFromUint64(1), To: AddressFromUint64(2), Nonce: 3, Value: 4, Gas: 5, Payload: []byte{1, 2}}
+	h1 := tx.Hash()
+	h2 := tx.Hash()
+	if h1 != h2 {
+		t.Fatal("memoized hash changed")
+	}
+	// ID and Sig must not affect the hash.
+	other := &Transaction{From: tx.From, To: tx.To, Nonce: 3, Value: 4, Gas: 5, Payload: []byte{1, 2}, ID: 99, Sig: []byte{9}}
+	if other.Hash() != h1 {
+		t.Fatal("ID/Sig leaked into hash")
+	}
+	changed := &Transaction{From: tx.From, To: tx.To, Nonce: 3, Value: 5, Gas: 5, Payload: []byte{1, 2}}
+	if changed.Hash() == h1 {
+		t.Fatal("value change did not change hash")
+	}
+}
+
+func TestSimResultAccessors(t *testing.T) {
+	k1, k2 := KeyFromUint64(1), KeyFromUint64(2)
+	r := &SimResult{
+		Reads:  []ReadEntry{{Key: k1, Value: []byte{1}}},
+		Writes: []WriteEntry{{Key: k2, Value: []byte{2}}},
+	}
+	if !r.ReadsKey(k1) || r.ReadsKey(k2) {
+		t.Fatal("ReadsKey wrong")
+	}
+	if !r.WritesKey(k2) || r.WritesKey(k1) {
+		t.Fatal("WritesKey wrong")
+	}
+	if got := r.ReadKeys(); len(got) != 1 || got[0] != k1 {
+		t.Fatal("ReadKeys wrong")
+	}
+	if got := r.WriteKeys(); len(got) != 1 || got[0] != k2 {
+		t.Fatal("WriteKeys wrong")
+	}
+}
+
+func TestComputeTxRoot(t *testing.T) {
+	if ComputeTxRoot(nil) != ZeroHash {
+		t.Fatal("empty root should be zero")
+	}
+	tx1 := &Transaction{Nonce: 1}
+	tx2 := &Transaction{Nonce: 2}
+	tx3 := &Transaction{Nonce: 3}
+	r12 := ComputeTxRoot([]*Transaction{tx1, tx2})
+	r21 := ComputeTxRoot([]*Transaction{tx2, tx1})
+	if r12 == r21 {
+		t.Fatal("root must be order-sensitive")
+	}
+	if ComputeTxRoot([]*Transaction{tx1}) == ComputeTxRoot([]*Transaction{tx2}) {
+		t.Fatal("distinct single-tx roots collided")
+	}
+	// Odd count exercises the duplicate-last rule.
+	r123 := ComputeTxRoot([]*Transaction{tx1, tx2, tx3})
+	if r123 == r12 || r123.IsZero() {
+		t.Fatal("odd-count root wrong")
+	}
+}
+
+func TestBlockHeaderHashCoversPowFields(t *testing.T) {
+	base := BlockHeader{Epoch: 5, Time: 6, Nonce: 7}
+	powMutations := []func(*BlockHeader){
+		func(h *BlockHeader) { h.TipsRoot[0] = 1 },
+		func(h *BlockHeader) { h.TxRoot[0] = 1 },
+		func(h *BlockHeader) { h.StateRoot[0] = 1 },
+		func(h *BlockHeader) { h.Epoch++ },
+		func(h *BlockHeader) { h.Time++ },
+		func(h *BlockHeader) { h.Miner[0] = 1 },
+		func(h *BlockHeader) { h.Nonce++ },
+	}
+	want := base.Hash()
+	for i, mutate := range powMutations {
+		hdr := base
+		mutate(&hdr)
+		if hdr.Hash() == want {
+			t.Fatalf("PoW mutation %d did not change the hash", i)
+		}
+	}
+	// Derived fields must NOT affect the hash: OHIE assigns them after
+	// mining, from the hash itself.
+	derivedMutations := []func(*BlockHeader){
+		func(h *BlockHeader) { h.ChainID++ },
+		func(h *BlockHeader) { h.Height++ },
+		func(h *BlockHeader) { h.ParentHash[0] = 1 },
+		func(h *BlockHeader) { h.Rank++ },
+		func(h *BlockHeader) { h.NextRank++ },
+	}
+	for i, mutate := range derivedMutations {
+		hdr := base
+		mutate(&hdr)
+		if hdr.Hash() != want {
+			t.Fatalf("derived mutation %d changed the hash", i)
+		}
+	}
+}
+
+func TestAssignedChainInRangeAndDeterministic(t *testing.T) {
+	counts := make(map[uint32]int)
+	for i := 0; i < 256; i++ {
+		b := &Block{Header: BlockHeader{Nonce: uint64(i)}}
+		c := b.AssignedChain(8)
+		if c >= 8 {
+			t.Fatalf("chain %d out of range", c)
+		}
+		if b.AssignedChain(8) != c {
+			t.Fatal("assignment not deterministic")
+		}
+		counts[c]++
+	}
+	// All 8 chains should receive some blocks (overwhelmingly likely).
+	if len(counts) != 8 {
+		t.Fatalf("only %d chains hit across 256 hashes", len(counts))
+	}
+}
+
+func TestTipsCommitment(t *testing.T) {
+	a := TipsCommitment([]Hash{HashBytes([]byte("a")), HashBytes([]byte("b"))})
+	b := TipsCommitment([]Hash{HashBytes([]byte("b")), HashBytes([]byte("a"))})
+	if a == b {
+		t.Fatal("commitment must be order-sensitive")
+	}
+}
+
+func TestNewEpochAssignsIDsAndDropsDuplicates(t *testing.T) {
+	shared := &Transaction{Nonce: 42}
+	b1 := &Block{Header: BlockHeader{ChainID: 0}, Txs: []*Transaction{{Nonce: 1}, shared}}
+	b2 := &Block{Header: BlockHeader{ChainID: 1}, Txs: []*Transaction{{Nonce: 42}, {Nonce: 2}}}
+	e := NewEpoch(3, []*Block{b1, b2})
+	if e.BlockConcurrency() != 2 {
+		t.Fatalf("concurrency = %d, want 2", e.BlockConcurrency())
+	}
+	if len(e.Txs) != 3 {
+		t.Fatalf("duplicate not dropped: %d txs", len(e.Txs))
+	}
+	for i, tx := range e.Txs {
+		if tx.ID != TxID(i) {
+			t.Fatalf("tx %d has id %d", i, tx.ID)
+		}
+	}
+}
+
+func TestScheduleGroupsAndSerialOrder(t *testing.T) {
+	s := NewSchedule()
+	s.Commit(5, 2)
+	s.Commit(1, 1)
+	s.Commit(3, 2)
+	s.Abort(4, AbortUnserializable)
+	s.Abort(2, AbortCycle)
+	s.NormalizeAborts()
+
+	groups := s.Groups()
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	if len(groups[0]) != 1 || groups[0][0] != 1 {
+		t.Fatalf("group 0 = %v", groups[0])
+	}
+	if len(groups[1]) != 2 || groups[1][0] != 3 || groups[1][1] != 5 {
+		t.Fatalf("group 1 = %v", groups[1])
+	}
+	order := s.SerialOrder()
+	want := []TxID{1, 3, 5}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("serial order = %v, want %v", order, want)
+		}
+	}
+	if s.Aborted[0].ID != 2 || s.Aborted[1].ID != 4 {
+		t.Fatalf("aborts not normalized: %v", s.Aborted)
+	}
+	if got := s.AbortRate(); got != 2.0/5.0 {
+		t.Fatalf("abort rate = %v", got)
+	}
+	if s.IsCommitted(4) || !s.IsCommitted(5) {
+		t.Fatal("IsCommitted wrong")
+	}
+}
+
+func TestScheduleEqual(t *testing.T) {
+	a := NewSchedule()
+	a.Commit(1, 1)
+	a.Abort(2, AbortCycle)
+	b := NewSchedule()
+	b.Commit(1, 1)
+	b.Abort(2, AbortCycle)
+	if !a.Equal(b) {
+		t.Fatal("identical schedules not equal")
+	}
+	b.Commit(3, 9)
+	if a.Equal(b) {
+		t.Fatal("different schedules equal")
+	}
+	c := NewSchedule()
+	c.Commit(1, 2)
+	c.Abort(2, AbortCycle)
+	if a.Equal(c) {
+		t.Fatal("different seq considered equal")
+	}
+	d := NewSchedule()
+	d.Commit(1, 1)
+	d.Abort(2, AbortUnserializable)
+	if a.Equal(d) {
+		t.Fatal("different abort reason considered equal")
+	}
+}
+
+func TestAbortReasonString(t *testing.T) {
+	cases := map[AbortReason]string{
+		AbortUnserializable: "unserializable",
+		AbortCycle:          "cycle",
+		AbortExecution:      "execution",
+		AbortReason(99):     "AbortReason(99)",
+	}
+	for r, want := range cases {
+		if r.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(r), r.String(), want)
+		}
+	}
+}
+
+// Property: Groups() and SerialOrder() agree — flattening the groups yields
+// the serial order — for arbitrary (id, seq) assignments.
+func TestScheduleGroupsFlattenToSerialOrder(t *testing.T) {
+	f := func(pairs map[uint16]uint8) bool {
+		s := NewSchedule()
+		for id, seq := range pairs {
+			s.Commit(TxID(id), Seq(seq)+1)
+		}
+		var flat []TxID
+		for _, g := range s.Groups() {
+			flat = append(flat, g...)
+		}
+		order := s.SerialOrder()
+		if len(flat) != len(order) {
+			return false
+		}
+		for i := range flat {
+			if flat[i] != order[i] {
+				return false
+			}
+		}
+		return sort.SliceIsSorted(order, func(i, j int) bool {
+			si, sj := s.Seqs[order[i]], s.Seqs[order[j]]
+			if si != sj {
+				return si < sj
+			}
+			return order[i] < order[j]
+		})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,200 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Assembler builds MiniVM bytecode with symbolic labels, the compilation
+// aid the contract packages use in place of a Solidity compiler.
+//
+//	a := NewAssembler()
+//	a.CalldataByte(0).Push(1).Eq().JumpI("handler")
+//	a.Revert()
+//	a.Label("handler")
+//	...
+//	code, err := a.Assemble()
+type Assembler struct {
+	code   []byte
+	labels map[string]int
+	// fixups are 2-byte holes to patch with label offsets.
+	fixups []fixup
+	err    error
+}
+
+type fixup struct {
+	pos   int
+	label string
+}
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{labels: make(map[string]int)}
+}
+
+// Label binds name to the current position.
+func (a *Assembler) Label(name string) *Assembler {
+	if _, dup := a.labels[name]; dup && a.err == nil {
+		a.err = fmt.Errorf("vm: duplicate label %q", name)
+	}
+	a.labels[name] = len(a.code)
+	return a
+}
+
+func (a *Assembler) op(b byte) *Assembler {
+	a.code = append(a.code, b)
+	return a
+}
+
+// Push emits PUSH with an 8-byte immediate.
+func (a *Assembler) Push(v uint64) *Assembler {
+	a.code = append(a.code, OpPush)
+	a.code = binary.BigEndian.AppendUint64(a.code, v)
+	return a
+}
+
+// CalldataByte emits CALLDATAB with a 1-byte offset.
+func (a *Assembler) CalldataByte(off byte) *Assembler {
+	a.code = append(a.code, OpCalldataByte, off)
+	return a
+}
+
+// CalldataWord emits CALLDATAW with a 1-byte offset.
+func (a *Assembler) CalldataWord(off byte) *Assembler {
+	a.code = append(a.code, OpCalldataWord, off)
+	return a
+}
+
+// CalldataSize emits CALLDATASIZE.
+func (a *Assembler) CalldataSize() *Assembler { return a.op(OpCalldataSize) }
+
+// Arithmetic and logic.
+
+// Add emits ADD.
+func (a *Assembler) Add() *Assembler { return a.op(OpAdd) }
+
+// Sub emits SUB (left - right, wrapping).
+func (a *Assembler) Sub() *Assembler { return a.op(OpSub) }
+
+// Mul emits MUL.
+func (a *Assembler) Mul() *Assembler { return a.op(OpMul) }
+
+// Div emits DIV (division by zero yields zero).
+func (a *Assembler) Div() *Assembler { return a.op(OpDiv) }
+
+// Mod emits MOD (mod zero yields zero).
+func (a *Assembler) Mod() *Assembler { return a.op(OpMod) }
+
+// Lt emits LT (left < right).
+func (a *Assembler) Lt() *Assembler { return a.op(OpLt) }
+
+// Gt emits GT.
+func (a *Assembler) Gt() *Assembler { return a.op(OpGt) }
+
+// Eq emits EQ.
+func (a *Assembler) Eq() *Assembler { return a.op(OpEq) }
+
+// IsZero emits ISZERO.
+func (a *Assembler) IsZero() *Assembler { return a.op(OpIsZero) }
+
+// And emits AND.
+func (a *Assembler) And() *Assembler { return a.op(OpAnd) }
+
+// Or emits OR.
+func (a *Assembler) Or() *Assembler { return a.op(OpOr) }
+
+// Xor emits XOR.
+func (a *Assembler) Xor() *Assembler { return a.op(OpXor) }
+
+// Not emits NOT (bitwise complement).
+func (a *Assembler) Not() *Assembler { return a.op(OpNot) }
+
+// Stack manipulation.
+
+// Pop emits POP.
+func (a *Assembler) Pop() *Assembler { return a.op(OpPop) }
+
+// Dup emits DUPn for depth 1–4.
+func (a *Assembler) Dup(depth int) *Assembler {
+	if depth < 1 || depth > 4 {
+		if a.err == nil {
+			a.err = fmt.Errorf("vm: DUP depth %d out of range", depth)
+		}
+		return a
+	}
+	return a.op(OpDup1 + byte(depth-1))
+}
+
+// Swap emits SWAPn for depth 1–2.
+func (a *Assembler) Swap(depth int) *Assembler {
+	if depth < 1 || depth > 2 {
+		if a.err == nil {
+			a.err = fmt.Errorf("vm: SWAP depth %d out of range", depth)
+		}
+		return a
+	}
+	return a.op(OpSwap1 + byte(depth-1))
+}
+
+// Storage.
+
+// Sload emits SLOAD.
+func (a *Assembler) Sload() *Assembler { return a.op(OpSload) }
+
+// Sstore emits SSTORE.
+func (a *Assembler) Sstore() *Assembler { return a.op(OpSstore) }
+
+// Control flow.
+
+// Jump emits JUMP to a label.
+func (a *Assembler) Jump(label string) *Assembler {
+	a.code = append(a.code, OpJump)
+	a.fixups = append(a.fixups, fixup{pos: len(a.code), label: label})
+	a.code = append(a.code, 0, 0)
+	return a
+}
+
+// JumpI emits JUMPI to a label (jumps when the popped word is nonzero).
+func (a *Assembler) JumpI(label string) *Assembler {
+	a.code = append(a.code, OpJumpI)
+	a.fixups = append(a.fixups, fixup{pos: len(a.code), label: label})
+	a.code = append(a.code, 0, 0)
+	return a
+}
+
+// Stop emits STOP.
+func (a *Assembler) Stop() *Assembler { return a.op(OpStop) }
+
+// Return emits RETURN.
+func (a *Assembler) Return() *Assembler { return a.op(OpReturn) }
+
+// Revert emits REVERT.
+func (a *Assembler) Revert() *Assembler { return a.op(OpRevert) }
+
+// Assemble patches label references and returns the bytecode.
+func (a *Assembler) Assemble() ([]byte, error) {
+	if a.err != nil {
+		return nil, a.err
+	}
+	if len(a.code) > 1<<16 {
+		return nil, fmt.Errorf("vm: program of %d bytes exceeds 16-bit address space", len(a.code))
+	}
+	out := append([]byte(nil), a.code...)
+	for _, f := range a.fixups {
+		target, ok := a.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("vm: undefined label %q", f.label)
+		}
+		binary.BigEndian.PutUint16(out[f.pos:], uint16(target))
+	}
+	return out, nil
+}
+
+// MustAssemble panics on assembly errors; for statically-known programs.
+func (a *Assembler) MustAssemble() []byte {
+	code, err := a.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return code
+}

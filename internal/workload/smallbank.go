@@ -1,0 +1,277 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/nezha-dag/nezha/internal/contracts/smallbank"
+	"github.com/nezha-dag/nezha/internal/crypto"
+	"github.com/nezha-dag/nezha/internal/types"
+)
+
+// Config describes a SmallBank workload. The defaults mirror §VI-A: 10k
+// accounts, six operation types drawn uniformly, Zipfian account selection.
+type Config struct {
+	Seed     int64
+	Accounts uint64
+	// Skew is the Zipfian coefficient in [0, 1]; 0 means uniform access.
+	Skew float64
+	// InitialBalance seeds every savings and checking cell.
+	InitialBalance uint64
+	// Sign makes the generator sign every transaction with the sender
+	// account's deterministic key (internal/crypto). Off by default: the
+	// pure-scheduling benchmarks exclude signature costs, as the paper's
+	// concurrency-control measurements do.
+	Sign bool
+	// ReadOnlyRatio overrides the paper's uniform six-op mix when
+	// non-negative: GetBalance is drawn with this probability and the
+	// five write ops uniformly otherwise. The default (negative) keeps
+	// the paper's uniform mix (each op 1/6).
+	ReadOnlyRatio float64
+}
+
+// DefaultConfig returns the paper's workload parameters.
+func DefaultConfig() Config {
+	return Config{Seed: 1, Accounts: 10_000, Skew: 0, InitialBalance: 10_000, ReadOnlyRatio: -1}
+}
+
+// Generator produces SmallBank transactions and (optionally) their
+// simulation results directly, bypassing the VM, for pure concurrency-
+// control benchmarks where execution cost is out of scope.
+type Generator struct {
+	cfg   Config
+	zipf  *Zipfian
+	rng   *rand.Rand
+	nonce uint64
+	keys  map[uint64]*crypto.Key
+}
+
+// NewGenerator builds a deterministic workload generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if cfg.Accounts == 0 {
+		return nil, fmt.Errorf("workload: zero accounts")
+	}
+	zipf, err := NewZipfian(cfg.Seed, cfg.Accounts, cfg.Skew)
+	if err != nil {
+		return nil, err
+	}
+	return &Generator{
+		cfg:  cfg,
+		zipf: zipf,
+		rng:  rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		keys: make(map[uint64]*crypto.Key),
+	}, nil
+}
+
+// Call is one generated SmallBank invocation before encoding.
+type Call struct {
+	Op     smallbank.Op
+	Acct1  uint64
+	Acct2  uint64
+	Amount uint64
+}
+
+// NextCall draws the next SmallBank invocation: a uniformly-chosen op over
+// Zipfian-chosen accounts (distinct accounts for the two-account ops).
+func (g *Generator) NextCall() Call {
+	var op smallbank.Op
+	if g.cfg.ReadOnlyRatio >= 0 {
+		if g.rng.Float64() < g.cfg.ReadOnlyRatio {
+			op = smallbank.OpGetBalance
+		} else {
+			op = smallbank.Op(g.rng.Intn(smallbank.NumOps-1) + 1)
+		}
+	} else {
+		op = smallbank.Op(g.rng.Intn(smallbank.NumOps) + 1)
+	}
+	a1 := g.zipf.Next()
+	a2 := a1
+	if op == smallbank.OpSendPayment || op == smallbank.OpAmalgamate {
+		for tries := 0; a2 == a1 && tries < 16; tries++ {
+			a2 = g.zipf.Next()
+		}
+		if a2 == a1 {
+			a2 = (a1 + 1) % g.cfg.Accounts
+		}
+	}
+	return Call{Op: op, Acct1: a1, Acct2: a2, Amount: uint64(g.rng.Intn(100) + 1)}
+}
+
+// NextTx draws the next invocation encoded as a transaction calling the
+// SmallBank contract (payload format in EncodeCall).
+func (g *Generator) NextTx() *types.Transaction {
+	call := g.NextCall()
+	g.nonce++
+	tx := &types.Transaction{
+		From:    types.AddressFromUint64(call.Acct1),
+		To:      smallbank.ContractAddress,
+		Nonce:   g.nonce,
+		Gas:     1_000_000,
+		Payload: EncodeCall(call),
+	}
+	if g.cfg.Sign {
+		key := g.keys[call.Acct1]
+		if key == nil {
+			key = crypto.KeyForAccount(call.Acct1)
+			g.keys[call.Acct1] = key
+		}
+		tx.From = key.Address()
+		key.SignTx(tx)
+	}
+	return tx
+}
+
+// Txs draws n transactions.
+func (g *Generator) Txs(n int) []*types.Transaction {
+	out := make([]*types.Transaction, n)
+	for i := range out {
+		out[i] = g.NextTx()
+	}
+	return out
+}
+
+// EncodeCall serializes a call into the transaction payload understood by
+// the SmallBank MiniVM program: a 1-byte selector followed by three
+// big-endian uint64 arguments.
+func EncodeCall(c Call) []byte {
+	buf := make([]byte, 0, 1+3*8)
+	buf = append(buf, byte(c.Op))
+	buf = binary.BigEndian.AppendUint64(buf, c.Acct1)
+	buf = binary.BigEndian.AppendUint64(buf, c.Acct2)
+	buf = binary.BigEndian.AppendUint64(buf, c.Amount)
+	return buf
+}
+
+// DecodeCall parses a payload produced by EncodeCall.
+func DecodeCall(payload []byte) (Call, error) {
+	if len(payload) != 1+3*8 {
+		return Call{}, fmt.Errorf("workload: payload length %d, want %d", len(payload), 1+3*8)
+	}
+	op := smallbank.Op(payload[0])
+	if op < smallbank.OpTransactSavings || op > smallbank.OpGetBalance {
+		return Call{}, fmt.Errorf("workload: unknown op selector %d", payload[0])
+	}
+	return Call{
+		Op:     op,
+		Acct1:  binary.BigEndian.Uint64(payload[1:9]),
+		Acct2:  binary.BigEndian.Uint64(payload[9:17]),
+		Amount: binary.BigEndian.Uint64(payload[17:25]),
+	}, nil
+}
+
+// Snapshot materializes the initial SmallBank state (every savings and
+// checking cell at InitialBalance) as a key-value map — the epoch snapshot
+// the pure-scheduling benchmarks simulate against.
+//
+// Only accounts that the given transactions touch are materialized, keeping
+// the map proportional to the workload rather than the account population.
+func (g *Generator) Snapshot(txs []*types.Transaction) (map[types.Key][]byte, error) {
+	snap := make(map[types.Key][]byte)
+	val := encodeBalance(g.cfg.InitialBalance)
+	for _, tx := range txs {
+		call, err := DecodeCall(tx.Payload)
+		if err != nil {
+			return nil, err
+		}
+		for _, acct := range []uint64{call.Acct1, call.Acct2} {
+			snap[smallbank.SavingsKey(acct)] = val
+			snap[smallbank.CheckingKey(acct)] = val
+		}
+	}
+	return snap, nil
+}
+
+// Simulate produces the SimResult of every transaction against the given
+// snapshot without a VM: the footprint comes from smallbank.Footprint and
+// write values apply the op's balance arithmetic. This is the fast path for
+// scheduler-only benchmarks (Figs. 9–11); the full pipeline uses the MiniVM
+// and must produce identical read/write sets (cross-checked in tests).
+func Simulate(txs []*types.Transaction, snapshot map[types.Key][]byte) ([]*types.SimResult, error) {
+	sims := make([]*types.SimResult, 0, len(txs))
+	for _, tx := range txs {
+		call, err := DecodeCall(tx.Payload)
+		if err != nil {
+			return nil, err
+		}
+		sim := &types.SimResult{Tx: tx}
+		readKeys, writeKeys := smallbank.Footprint(call.Op, call.Acct1, call.Acct2)
+		vals := make(map[types.Key]uint64, len(readKeys))
+		for _, k := range readKeys {
+			raw := snapshot[k]
+			sim.Reads = append(sim.Reads, types.ReadEntry{Key: k, Value: raw})
+			vals[k] = decodeBalance(raw)
+		}
+		writeVals := applyCall(call, vals)
+		for _, k := range writeKeys {
+			sim.Writes = append(sim.Writes, types.WriteEntry{Key: k, Value: encodeBalance(writeVals[k])})
+		}
+		// Key-sorted sets match the MiniVM logger's output exactly, so
+		// the fast path and the VM path are interchangeable.
+		sort.Slice(sim.Reads, func(i, j int) bool { return sim.Reads[i].Key.Less(sim.Reads[j].Key) })
+		sort.Slice(sim.Writes, func(i, j int) bool { return sim.Writes[i].Key.Less(sim.Writes[j].Key) })
+		sims = append(sims, sim)
+	}
+	return sims, nil
+}
+
+// applyCall computes the post-state balances of an op given the read
+// balances. Balances saturate at zero instead of underflowing; SmallBank
+// semantics (and the original benchmark) allow unconditional updates.
+func applyCall(c Call, vals map[types.Key]uint64) map[types.Key]uint64 {
+	s1, c1 := smallbank.SavingsKey(c.Acct1), smallbank.CheckingKey(c.Acct1)
+	c2 := smallbank.CheckingKey(c.Acct2)
+	out := make(map[types.Key]uint64, 3)
+	switch c.Op {
+	case smallbank.OpTransactSavings:
+		out[s1] = vals[s1] + c.Amount
+	case smallbank.OpDepositChecking:
+		out[c1] = vals[c1] + c.Amount
+	case smallbank.OpSendPayment:
+		out[c1] = sub(vals[c1], c.Amount)
+		out[c2] = vals[c2] + c.Amount
+	case smallbank.OpWriteCheck:
+		// Writing a check against insufficient total funds incurs a
+		// penalty of 1, per the original SmallBank specification.
+		amount := c.Amount
+		if vals[s1]+vals[c1] < c.Amount {
+			amount++
+		}
+		out[c1] = sub(vals[c1], amount)
+	case smallbank.OpAmalgamate:
+		out[c2] = vals[c2] + vals[s1] + vals[c1]
+		out[s1] = 0
+		out[c1] = 0
+	case smallbank.OpGetBalance:
+		// Read-only.
+	}
+	return out
+}
+
+func sub(a, b uint64) uint64 {
+	if b > a {
+		return 0
+	}
+	return a - b
+}
+
+// encodeBalance stores balances as 8-byte big-endian values.
+func encodeBalance(v uint64) []byte {
+	return binary.BigEndian.AppendUint64(nil, v)
+}
+
+// decodeBalance parses a stored balance; missing or short cells read as 0.
+func decodeBalance(raw []byte) uint64 {
+	if len(raw) != 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(raw)
+}
+
+// EncodeBalance is the exported form of the balance codec for other
+// packages (the VM contract and state bootstrap must agree with it).
+func EncodeBalance(v uint64) []byte { return encodeBalance(v) }
+
+// DecodeBalance is the exported decoding twin of EncodeBalance.
+func DecodeBalance(raw []byte) uint64 { return decodeBalance(raw) }

@@ -1,0 +1,355 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/nezha-dag/nezha/internal/contracts/smallbank"
+	"github.com/nezha-dag/nezha/internal/contracts/token"
+	"github.com/nezha-dag/nezha/internal/core"
+	"github.com/nezha-dag/nezha/internal/types"
+)
+
+func TestZipfianValidation(t *testing.T) {
+	if _, err := NewZipfian(1, 0, 0.5); err == nil {
+		t.Fatal("zero items accepted")
+	}
+	if _, err := NewZipfian(1, 10, -0.1); err == nil {
+		t.Fatal("negative skew accepted")
+	}
+	if _, err := NewZipfian(1, 10, 1.1); err == nil {
+		t.Fatal("skew > 1 accepted")
+	}
+	if _, err := NewZipfian(1, 10, 1.0); err != nil {
+		t.Fatalf("skew 1.0 rejected: %v", err)
+	}
+}
+
+func TestZipfianUniformAtSkewZero(t *testing.T) {
+	const n, draws = 100, 200_000
+	z, err := NewZipfian(7, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		v := z.Next()
+		if v >= n {
+			t.Fatalf("draw %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Chi-squared sanity: each bucket expects draws/n = 2000; allow ±25%.
+	for i, c := range counts {
+		if math.Abs(float64(c)-draws/n) > 0.25*draws/n {
+			t.Fatalf("bucket %d = %d, uniform expectation %d", i, c, draws/n)
+		}
+	}
+}
+
+func TestZipfianConcentratesWithSkew(t *testing.T) {
+	const n, draws = 10_000, 100_000
+	top10Share := func(skew float64) float64 {
+		z, err := NewZipfian(3, n, skew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[uint64]int)
+		for i := 0; i < draws; i++ {
+			counts[z.Next()]++
+		}
+		all := make([]int, 0, len(counts))
+		for _, c := range counts {
+			all = append(all, c)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(all)))
+		top := 0
+		for i := 0; i < 10 && i < len(all); i++ {
+			top += all[i]
+		}
+		return float64(top) / draws
+	}
+	s0 := top10Share(0)
+	s6 := top10Share(0.6)
+	s10 := top10Share(1.0)
+	if !(s0 < s6 && s6 < s10) {
+		t.Fatalf("top-10 share not increasing with skew: %.3f, %.3f, %.3f", s0, s6, s10)
+	}
+	if s10 < 0.3 {
+		t.Fatalf("skew 1.0 top-10 share only %.3f; distribution not Zipfian", s10)
+	}
+	if s0 > 0.01 {
+		t.Fatalf("uniform top-10 share %.3f too concentrated", s0)
+	}
+}
+
+func TestZipfianDeterministic(t *testing.T) {
+	a, _ := NewZipfian(42, 1000, 0.8)
+	b, _ := NewZipfian(42, 1000, 0.8)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestEncodeDecodeCallRoundTrip(t *testing.T) {
+	for op := smallbank.OpTransactSavings; op <= smallbank.OpGetBalance; op++ {
+		in := Call{Op: op, Acct1: 12345, Acct2: 678, Amount: 42}
+		out, err := DecodeCall(EncodeCall(in))
+		if err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+		if out != in {
+			t.Fatalf("round trip: %+v != %+v", out, in)
+		}
+	}
+	if _, err := DecodeCall([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	bad := EncodeCall(Call{Op: smallbank.OpGetBalance, Acct1: 1})
+	bad[0] = 99
+	if _, err := DecodeCall(bad); err == nil {
+		t.Fatal("bad selector accepted")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	g1, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := NewGenerator(cfg)
+	txs1, txs2 := g1.Txs(200), g2.Txs(200)
+	for i := range txs1 {
+		if txs1[i].Hash() != txs2[i].Hash() {
+			t.Fatalf("tx %d differs across identically-seeded generators", i)
+		}
+	}
+}
+
+func TestGeneratorTwoAccountOpsDistinct(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Skew = 1.0 // max collision pressure
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		c := g.NextCall()
+		if (c.Op == smallbank.OpSendPayment || c.Op == smallbank.OpAmalgamate) && c.Acct1 == c.Acct2 {
+			t.Fatal("two-account op drew identical accounts")
+		}
+	}
+}
+
+func TestFootprintShapes(t *testing.T) {
+	cases := []struct {
+		op            smallbank.Op
+		reads, writes int
+	}{
+		{smallbank.OpTransactSavings, 1, 1},
+		{smallbank.OpDepositChecking, 1, 1},
+		{smallbank.OpSendPayment, 2, 2},
+		{smallbank.OpWriteCheck, 2, 1},
+		{smallbank.OpAmalgamate, 3, 3},
+		{smallbank.OpGetBalance, 2, 0},
+	}
+	for _, tc := range cases {
+		r, w := smallbank.Footprint(tc.op, 1, 2)
+		if len(r) != tc.reads || len(w) != tc.writes {
+			t.Fatalf("%v: footprint %d/%d, want %d/%d", tc.op, len(r), len(w), tc.reads, tc.writes)
+		}
+	}
+	// Same-account degenerate case deduplicates.
+	r, w := smallbank.Footprint(smallbank.OpSendPayment, 5, 5)
+	if len(r) != 1 || len(w) != 1 {
+		t.Fatalf("self-payment footprint %d/%d, want 1/1", len(r), len(w))
+	}
+	if smallbank.OpGetBalance.IsWrite() || !smallbank.OpSendPayment.IsWrite() {
+		t.Fatal("IsWrite wrong")
+	}
+}
+
+func TestSavingsCheckingKeysDisjoint(t *testing.T) {
+	if smallbank.SavingsKey(1) == smallbank.CheckingKey(1) {
+		t.Fatal("savings and checking keys collide")
+	}
+	if smallbank.SavingsKey(1) == smallbank.SavingsKey(2) {
+		t.Fatal("different accounts collide")
+	}
+}
+
+// TestSimulateSchedulesSerializable wires the generator into the Nezha
+// scheduler end to end: a SmallBank epoch simulated against its snapshot
+// must verify serializable at every skew.
+func TestSimulateSchedulesSerializable(t *testing.T) {
+	for _, skew := range []float64{0, 0.6, 1.0} {
+		cfg := DefaultConfig()
+		cfg.Skew = skew
+		cfg.Accounts = 1000
+		g, err := NewGenerator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		txs := g.Txs(400)
+		for i, tx := range txs {
+			tx.ID = types.TxID(i)
+		}
+		snapshot, err := g.Snapshot(txs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sims, err := Simulate(txs, snapshot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, _, err := core.MustNewScheduler(core.DefaultConfig()).Schedule(sims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := core.VerifySchedule(snapshot, sims, sched); err != nil {
+			t.Fatalf("skew %.1f: %v", skew, err)
+		}
+		if sched.CommittedCount() == 0 {
+			t.Fatalf("skew %.1f: nothing committed", skew)
+		}
+	}
+}
+
+func TestApplyCallArithmetic(t *testing.T) {
+	s1, c1 := smallbank.SavingsKey(1), smallbank.CheckingKey(1)
+	c2 := smallbank.CheckingKey(2)
+	vals := map[types.Key]uint64{s1: 100, c1: 50, c2: 10}
+
+	out := applyCall(Call{Op: smallbank.OpTransactSavings, Acct1: 1, Amount: 7}, vals)
+	if out[s1] != 107 {
+		t.Fatalf("transact_savings: %d", out[s1])
+	}
+	out = applyCall(Call{Op: smallbank.OpDepositChecking, Acct1: 1, Amount: 7}, vals)
+	if out[c1] != 57 {
+		t.Fatalf("deposit_checking: %d", out[c1])
+	}
+	out = applyCall(Call{Op: smallbank.OpSendPayment, Acct1: 1, Acct2: 2, Amount: 30}, vals)
+	if out[c1] != 20 || out[c2] != 40 {
+		t.Fatalf("send_payment: %d/%d", out[c1], out[c2])
+	}
+	// Overdraft saturates at zero.
+	out = applyCall(Call{Op: smallbank.OpSendPayment, Acct1: 1, Acct2: 2, Amount: 500}, vals)
+	if out[c1] != 0 || out[c2] != 510 {
+		t.Fatalf("overdraft send_payment: %d/%d", out[c1], out[c2])
+	}
+	// WriteCheck with sufficient funds: plain deduction.
+	out = applyCall(Call{Op: smallbank.OpWriteCheck, Acct1: 1, Amount: 30}, vals)
+	if out[c1] != 20 {
+		t.Fatalf("write_check: %d", out[c1])
+	}
+	// WriteCheck beyond savings+checking: penalty of 1.
+	out = applyCall(Call{Op: smallbank.OpWriteCheck, Acct1: 1, Amount: 200}, vals)
+	if out[c1] != 0 { // 50 - 201 saturates
+		t.Fatalf("penalized write_check: %d", out[c1])
+	}
+	out = applyCall(Call{Op: smallbank.OpAmalgamate, Acct1: 1, Acct2: 2}, vals)
+	if out[s1] != 0 || out[c1] != 0 || out[c2] != 160 {
+		t.Fatalf("amalgamate: %d/%d/%d", out[s1], out[c1], out[c2])
+	}
+	out = applyCall(Call{Op: smallbank.OpGetBalance, Acct1: 1}, vals)
+	if len(out) != 0 {
+		t.Fatalf("get_balance wrote: %v", out)
+	}
+}
+
+func TestBalanceCodec(t *testing.T) {
+	if DecodeBalance(EncodeBalance(123456789)) != 123456789 {
+		t.Fatal("round trip failed")
+	}
+	if DecodeBalance(nil) != 0 || DecodeBalance([]byte{1}) != 0 {
+		t.Fatal("malformed balances must read 0")
+	}
+}
+
+func TestReadOnlyRatioKnob(t *testing.T) {
+	count := func(ratio float64) (reads, writes int) {
+		cfg := DefaultConfig()
+		cfg.ReadOnlyRatio = ratio
+		g, err := NewGenerator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2000; i++ {
+			if g.NextCall().Op == smallbank.OpGetBalance {
+				reads++
+			} else {
+				writes++
+			}
+		}
+		return reads, writes
+	}
+	if r, _ := count(0); r != 0 {
+		t.Fatalf("ratio 0 produced %d reads", r)
+	}
+	if _, w := count(1); w != 0 {
+		t.Fatalf("ratio 1 produced %d writes", w)
+	}
+	r, _ := count(0.5)
+	if r < 800 || r > 1200 {
+		t.Fatalf("ratio 0.5 produced %d/2000 reads", r)
+	}
+	// Default mix: each op ~1/6.
+	rDef, _ := count(-1)
+	if rDef < 200 || rDef > 470 {
+		t.Fatalf("uniform mix produced %d/2000 read-only ops", rDef)
+	}
+	if _, err := NewTokenGenerator(TokenConfig{Accounts: 10, MintRatio: 2}); err == nil {
+		t.Fatal("bad mint ratio accepted")
+	}
+	if _, err := NewTokenGenerator(TokenConfig{}); err == nil {
+		t.Fatal("zero accounts accepted")
+	}
+}
+
+func TestTokenGeneratorDeterministicAndDistinct(t *testing.T) {
+	cfg := DefaultTokenConfig()
+	cfg.Accounts = 100
+	cfg.Skew = 1.0
+	g1, err := NewTokenGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := NewTokenGenerator(cfg)
+	t1, t2 := g1.Txs(200), g2.Txs(200)
+	for i := range t1 {
+		if t1[i].Hash() != t2[i].Hash() {
+			t.Fatalf("tx %d differs", i)
+		}
+	}
+	// Transfers never self-transfer.
+	for _, tx := range t1 {
+		call, err := token.Decode(tx.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if call.Op == token.OpTransfer && call.Arg1 == call.Arg2 {
+			t.Fatal("self transfer generated")
+		}
+	}
+	// Genesis covers every touched account and sets a consistent supply.
+	genesis, err := g1.Genesis(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var supply uint64
+	var total uint64
+	for _, w := range genesis {
+		if w.Key == token.SupplyKey() {
+			supply = DecodeBalance(w.Value)
+		} else {
+			total += DecodeBalance(w.Value)
+		}
+	}
+	if supply == 0 || supply != total {
+		t.Fatalf("genesis supply %d != balance sum %d", supply, total)
+	}
+}

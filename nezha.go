@@ -1,0 +1,137 @@
+// Package nezha is the public API of this reproduction of "Nezha:
+// Exploiting Concurrency for Transaction Processing in DAG-based
+// Blockchains" (Xiao et al., ICDCS 2022).
+//
+// Nezha is a concurrency-control scheme for DAG-based blockchains whose
+// epochs execute many transactions speculatively against one state
+// snapshot: it detects conflicts through an address-based conflict graph
+// (one vertex per state key instead of one edge per transaction pair) and
+// orders transactions with a hierarchical sorting algorithm that assigns
+// Lamport-style sequence numbers — transactions sharing a number commit
+// concurrently, unserializable ones abort.
+//
+// The minimal flow:
+//
+//	sched := nezha.NewScheduler()
+//	schedule, _, err := sched.Schedule(sims) // sims: speculative R/W sets
+//	...
+//	for _, group := range schedule.Groups() {
+//		// commit each group's transactions concurrently
+//	}
+//
+// Every input transaction either appears in schedule.Seqs (committed, with
+// its sequence number) or in schedule.Aborted. Verify checks a schedule
+// against full serializability; the conventional conflict-graph baseline
+// the paper compares against is available via NewCGScheduler.
+//
+// The repository's internal packages carry the full system the paper sits
+// on — an OHIE parallel-chain ledger with simulated PoW, a gas-metered
+// contract VM with read/write logging, a Merkle Patricia Trie state over an
+// LSM key-value store, a simulated P2P network, SmallBank workloads, and a
+// benchmark harness regenerating every table and figure of the paper's
+// evaluation (cmd/nezha-bench).
+package nezha
+
+import (
+	"time"
+
+	"github.com/nezha-dag/nezha/internal/cg"
+	"github.com/nezha-dag/nezha/internal/core"
+	"github.com/nezha-dag/nezha/internal/occ"
+	"github.com/nezha-dag/nezha/internal/types"
+)
+
+// Core data-model aliases, so downstream code needs only this package.
+type (
+	// Key identifies one cell of blockchain state, the unit of conflict.
+	Key = types.Key
+	// TxID is a transaction's epoch-local identifier.
+	TxID = types.TxID
+	// Seq is a commit sequence number; equal numbers commit concurrently.
+	Seq = types.Seq
+	// Transaction is a state-transition request.
+	Transaction = types.Transaction
+	// ReadEntry is one observed read (key and snapshot value).
+	ReadEntry = types.ReadEntry
+	// WriteEntry is one intended write.
+	WriteEntry = types.WriteEntry
+	// SimResult is a transaction's speculative execution outcome — the
+	// scheduler's input.
+	SimResult = types.SimResult
+	// Schedule is a total commit order with intra-group concurrency — the
+	// scheduler's output.
+	Schedule = types.Schedule
+	// Abort records one aborted transaction and why.
+	Abort = types.Abort
+	// PhaseBreakdown splits scheduling latency into sub-phases.
+	PhaseBreakdown = types.PhaseBreakdown
+	// Scheduler is the pluggable concurrency-control interface.
+	Scheduler = types.Scheduler
+)
+
+// Abort reasons.
+const (
+	// AbortUnserializable marks transactions no serial order can include.
+	AbortUnserializable = types.AbortUnserializable
+	// AbortCycle marks CG-baseline victims of conflict-cycle removal.
+	AbortCycle = types.AbortCycle
+	// AbortExecution marks transactions whose speculative run failed.
+	AbortExecution = types.AbortExecution
+)
+
+// Config re-exports the Nezha scheduler configuration.
+type Config = core.Config
+
+// Rank-division heuristics (Algorithm 1's cycle break).
+const (
+	// RankMaxOutDegree is the paper's heuristic.
+	RankMaxOutDegree = core.RankMaxOutDegree
+	// RankMinSubscript is the naive ablation.
+	RankMinSubscript = core.RankMinSubscript
+)
+
+// NewScheduler returns a Nezha scheduler with the paper's configuration
+// (reordering enhancement on, max-out-degree rank heuristic).
+func NewScheduler() *core.Scheduler {
+	return core.MustNewScheduler(core.DefaultConfig())
+}
+
+// NewSchedulerWithConfig returns a Nezha scheduler with a custom
+// configuration.
+func NewSchedulerWithConfig(cfg Config) (*core.Scheduler, error) {
+	return core.NewScheduler(cfg)
+}
+
+// NewCGScheduler returns the conventional conflict-graph baseline
+// (Fabric++/FabricSharp-style: pairwise dependency graph, Johnson cycle
+// removal, topological serial order) with a sensible budget; see
+// internal/cg for tuning.
+func NewCGScheduler() Scheduler {
+	return cg.NewScheduler(cg.DefaultConfig())
+}
+
+// NewCGSchedulerWithBudget returns the CG baseline with explicit cycle
+// storage and wall-clock budgets (0 = unlimited).
+func NewCGSchedulerWithBudget(maxStoredCycles int, timeBudget time.Duration) Scheduler {
+	return cg.NewScheduler(cg.Config{MaxCycles: maxStoredCycles, TimeBudget: timeBudget})
+}
+
+// NewOCCScheduler returns the plain optimistic-concurrency-control baseline
+// (Fabric-style first-committer-wins, Table II of the paper): no ordering
+// work at all, at the price of aborting every transaction whose reads were
+// overwritten by an earlier committed transaction of the same epoch.
+func NewOCCScheduler() Scheduler {
+	return occ.NewScheduler()
+}
+
+// Verify checks a schedule for full serializability against the snapshot
+// the transactions were simulated on: per-key ordering invariants plus a
+// serial replay in (sequence, id) order that must observe every recorded
+// read value. A nil error means the schedule is safe to commit.
+func Verify(snapshot map[Key][]byte, sims []*SimResult, schedule *Schedule) error {
+	return core.VerifySchedule(snapshot, sims, schedule)
+}
+
+// KeyFromUint64 derives a deterministic state key from a numeric id;
+// convenient for tests and synthetic workloads.
+func KeyFromUint64(n uint64) Key { return types.KeyFromUint64(n) }

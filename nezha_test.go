@@ -1,0 +1,101 @@
+package nezha_test
+
+import (
+	"testing"
+
+	nezha "github.com/nezha-dag/nezha"
+)
+
+// sim builds a SimResult through the public API only.
+func sim(id nezha.TxID, reads, writes []uint64) *nezha.SimResult {
+	s := &nezha.SimResult{Tx: &nezha.Transaction{ID: id}}
+	for _, k := range reads {
+		s.Reads = append(s.Reads, nezha.ReadEntry{Key: nezha.KeyFromUint64(k)})
+	}
+	for _, k := range writes {
+		s.Writes = append(s.Writes, nezha.WriteEntry{Key: nezha.KeyFromUint64(k), Value: []byte{byte(id)}})
+	}
+	return s
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	sims := []*nezha.SimResult{
+		sim(0, []uint64{1}, []uint64{2}),
+		sim(1, []uint64{3}, []uint64{4}),
+		sim(2, []uint64{2}, []uint64{3}), // reads what tx 0 writes
+	}
+	sched := nezha.NewScheduler()
+	if sched.Name() != "nezha" {
+		t.Fatalf("name = %q", sched.Name())
+	}
+	schedule, breakdown, err := sched.Schedule(sims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if breakdown.Total() <= 0 {
+		t.Fatal("no phase latency recorded")
+	}
+	if schedule.CommittedCount()+schedule.AbortedCount() != 3 {
+		t.Fatal("transactions lost")
+	}
+	if err := nezha.Verify(nil, sims, schedule); err != nil {
+		t.Fatal(err)
+	}
+	// tx 2 read key 2 from the snapshot, so it must precede tx 0's write.
+	if schedule.IsCommitted(0) && schedule.IsCommitted(2) && schedule.Seqs[2] >= schedule.Seqs[0] {
+		t.Fatalf("reader (seq %d) does not precede writer (seq %d)", schedule.Seqs[2], schedule.Seqs[0])
+	}
+}
+
+func TestPublicCGBaseline(t *testing.T) {
+	sims := []*nezha.SimResult{
+		sim(0, []uint64{1}, []uint64{2}),
+		sim(1, []uint64{2}, []uint64{1}), // rw cycle with tx 0
+	}
+	schedule, _, err := nezha.NewCGScheduler().Schedule(sims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schedule.AbortedCount() != 1 {
+		t.Fatalf("cycle not broken: %+v", schedule.Aborted)
+	}
+	if schedule.Aborted[0].Reason != nezha.AbortCycle {
+		t.Fatalf("reason = %v", schedule.Aborted[0].Reason)
+	}
+	if err := nezha.Verify(nil, sims, schedule); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicConfigSurface(t *testing.T) {
+	if _, err := nezha.NewSchedulerWithConfig(nezha.Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	s, err := nezha.NewSchedulerWithConfig(nezha.Config{Reorder: false, Heuristic: nezha.RankMinSubscript})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Schedule(nil); err != nil {
+		t.Fatal(err)
+	}
+	if nezha.NewCGSchedulerWithBudget(0, 0) == nil {
+		t.Fatal("budget constructor returned nil")
+	}
+}
+
+func TestPublicOCCBaseline(t *testing.T) {
+	sims := []*nezha.SimResult{
+		sim(0, nil, []uint64{1}),
+		sim(1, []uint64{1}, []uint64{2}), // stale read of key 1: aborts
+	}
+	schedule, _, err := nezha.NewOCCScheduler().Schedule(sims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !schedule.IsCommitted(0) || schedule.IsCommitted(1) {
+		t.Fatalf("OCC outcome wrong: %+v", schedule.Seqs)
+	}
+	if err := nezha.Verify(nil, sims, schedule); err != nil {
+		t.Fatal(err)
+	}
+}
