@@ -3,6 +3,7 @@ package nezha_test
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"github.com/nezha-dag/nezha/internal/bench"
@@ -58,40 +59,95 @@ func BenchmarkAblationGraph(b *testing.B)   { runExperiment(b, "ablation-graph")
 
 // Micro benchmarks of the core algorithm at the paper's epoch sizes.
 
+// benchSims builds one SmallBank epoch of n transactions for the micro
+// benchmarks.
+func benchSims(b *testing.B, n int, skew float64) []*types.SimResult {
+	b.Helper()
+	gen, err := workload.NewGenerator(workload.Config{
+		Seed: 1, Accounts: 10_000, Skew: skew, InitialBalance: 10_000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	txs := gen.Txs(n)
+	for i, tx := range txs {
+		tx.ID = types.TxID(i)
+	}
+	snap, err := gen.Snapshot(txs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sims, err := workload.Simulate(txs, snap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sims
+}
+
 func BenchmarkNezhaSchedule(b *testing.B) {
 	for _, cfg := range []struct {
 		omega int
 		skew  float64
 	}{{2, 0}, {12, 0}, {12, 0.6}, {12, 0.8}} {
 		b.Run(fmt.Sprintf("omega=%d/skew=%.1f", cfg.omega, cfg.skew), func(b *testing.B) {
-			gen, err := workload.NewGenerator(workload.Config{
-				Seed: 1, Accounts: 10_000, Skew: cfg.skew, InitialBalance: 10_000,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			txs := gen.Txs(cfg.omega * 200)
-			for i, tx := range txs {
-				tx.ID = types.TxID(i)
-			}
-			snap, err := gen.Snapshot(txs)
-			if err != nil {
-				b.Fatal(err)
-			}
-			sims, err := workload.Simulate(txs, snap)
-			if err != nil {
-				b.Fatal(err)
-			}
+			sims := benchSims(b, cfg.omega*200, cfg.skew)
 			sched := core.MustNewScheduler(core.DefaultConfig())
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := sched.Schedule(sims); err != nil {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(float64(len(txs)), "txs/epoch")
+			b.ReportMetric(float64(len(sims)), "txs/epoch")
 		})
 	}
+}
+
+// BenchmarkNezhaScheduleParallelism pits the sequential reference core
+// (Parallelism=1) against the sharded/cluster-parallel core on one 4096-tx
+// SmallBank epoch — the speedup headline of the parallel scheduling core.
+// Both configurations produce byte-identical schedules (asserted by
+// TestParallelScheduleMatchesSequential in internal/core).
+func BenchmarkNezhaScheduleParallelism(b *testing.B) {
+	sims := benchSims(b, 4096, 0.2)
+	for _, par := range []int{1, 0} { // 1 = sequential reference, 0 = GOMAXPROCS
+		name := "sequential"
+		if par != 1 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Parallelism = par
+			sched := core.MustNewScheduler(cfg)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sched.Schedule(sims); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(sims)), "txs/epoch")
+		})
+	}
+}
+
+// BenchmarkBuildACG covers both graph builders on the same 4096-tx epoch:
+// the sequential reference and the key-sharded parallel builder.
+func BenchmarkBuildACG(b *testing.B) {
+	sims := benchSims(b, 4096, 0.2)
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.BuildACG(sims)
+		}
+	})
+	b.Run("sharded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.BuildACGSharded(sims, runtime.GOMAXPROCS(0))
+		}
+	})
 }
 
 func BenchmarkAblationWriteMix(b *testing.B) { runExperiment(b, "ablation-writemix") }

@@ -6,7 +6,14 @@
 //	nezha-bench -exp all                # every experiment, paper parameters
 //	nezha-bench -exp fig9 -quick        # one experiment, shrunk for a fast pass
 //	nezha-bench -exp fig11 -csv         # CSV instead of a text table
+//	nezha-bench -exp stages -parallelism 4   # staged-pipeline profile, 4-way core
 //	nezha-bench -list                   # list experiment names
+//
+// -parallelism sets the scheduler core's fan-out (sharded ACG build and
+// cluster-parallel sorting) and the node's background prevalidation pool:
+// 0 uses GOMAXPROCS, 1 forces the sequential reference core. Every setting
+// produces byte-identical schedules; the knob only trades goroutine
+// overhead against multi-core speedup.
 //
 // Absolute numbers depend on the machine; EXPERIMENTS.md records the shape
 // comparisons against the paper.
@@ -38,8 +45,13 @@ func run() error {
 		reps      = flag.Int("reps", 0, "epochs per data point (0 = default)")
 		blockSize = flag.Int("blocksize", 0, "transactions per block (0 = default)")
 		workers   = flag.Int("workers", 0, "worker threads (0 = GOMAXPROCS)")
+		par       = flag.Int("parallelism", 0, "scheduler-core fan-out (0 = GOMAXPROCS, 1 = sequential reference)")
 	)
 	flag.Parse()
+
+	if *par < 0 {
+		return fmt.Errorf("-parallelism must be >= 0 (0 = GOMAXPROCS, 1 = sequential reference), got %d", *par)
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {
@@ -54,6 +66,7 @@ func run() error {
 	}
 	opts.Seed = *seed
 	opts.Workers = *workers
+	opts.Parallelism = *par
 	if *reps > 0 {
 		opts.Reps = *reps
 	}

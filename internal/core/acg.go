@@ -46,7 +46,11 @@ type ACG struct {
 	Deps *graph.Directed
 
 	index map[types.Key]int
-	sims  map[types.TxID]*types.SimResult
+	// sims is the dense transaction lookup: sims[id] is the simulation
+	// result of epoch-local transaction id (nil for gaps). Epoch-local ids
+	// are assigned consecutively from 0 (types.NewEpoch), so a slice beats
+	// a map on every hot sorter lookup.
+	sims []*types.SimResult
 }
 
 // BuildACG constructs the ACG from one epoch's simulation results in
@@ -57,10 +61,15 @@ type ACG struct {
 // sims must be sorted by ascending transaction id; BuildACG preserves that
 // order inside every address set, which is what makes write-unit ordering
 // ("determined according to their subscripts") fall out for free.
+// Transaction ids must be epoch-local (consecutive from 0, as types.NewEpoch
+// assigns them): the graph indexes transactions densely by id.
+//
+// BuildACG is the sequential reference implementation; BuildACGSharded is
+// the key-sharded parallel builder that must produce an identical graph.
 func BuildACG(sims []*types.SimResult) *ACG {
 	acg := &ACG{
 		index: make(map[types.Key]int),
-		sims:  make(map[types.TxID]*types.SimResult, len(sims)),
+		sims:  make([]*types.SimResult, denseSimLen(sims)),
 	}
 
 	// Pass 1: collect every accessed key so vertices can be numbered in
@@ -138,5 +147,21 @@ func (a *ACG) AddressIndex(k types.Key) int {
 	return i
 }
 
-// Sim returns the simulation result of a transaction id.
-func (a *ACG) Sim(id types.TxID) *types.SimResult { return a.sims[id] }
+// Sim returns the simulation result of a transaction id, or nil when the id
+// is not part of the epoch.
+func (a *ACG) Sim(id types.TxID) *types.SimResult {
+	if int(id) >= len(a.sims) {
+		return nil
+	}
+	return a.sims[id]
+}
+
+// denseSimLen returns the dense lookup size for one epoch's simulation
+// results: max id + 1. sims are sorted by ascending id, so the last entry
+// carries the maximum.
+func denseSimLen(sims []*types.SimResult) int {
+	if len(sims) == 0 {
+		return 0
+	}
+	return int(sims[len(sims)-1].Tx.ID) + 1
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"github.com/nezha-dag/nezha/internal/types"
@@ -21,13 +22,26 @@ type Config struct {
 	// this; the schedules may then (rarely) violate strict per-address
 	// invariants.
 	SkipSafetySweep bool
+	// Parallelism is the worker fan-out of the sharded ACG builder and
+	// the cluster-parallel sorter: 0 means GOMAXPROCS, 1 selects the
+	// sequential reference implementations, and negative values are
+	// rejected. Every setting produces byte-identical schedules — the
+	// knob trades goroutine overhead against multi-core speedup, never
+	// determinism (the cross-implementation tests assert exactly that).
+	Parallelism int
 }
 
 // DefaultConfig returns the configuration evaluated in the paper:
-// reordering on, max-out-degree rank heuristic, safety sweep on.
+// reordering on, max-out-degree rank heuristic, safety sweep on, and the
+// parallel core sized to the machine.
 func DefaultConfig() Config {
 	return Config{Reorder: true, Heuristic: RankMaxOutDegree}
 }
+
+// minParallelTxs is the epoch size below which Schedule always takes the
+// sequential path: goroutine fan-out costs more than it saves on tiny
+// epochs. Output is unaffected — both paths produce identical schedules.
+const minParallelTxs = 128
 
 // Scheduler is the Nezha concurrency-control scheme (§IV). It is stateless
 // across epochs and safe for concurrent use by multiple goroutines (each
@@ -45,6 +59,9 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown rank heuristic %d", cfg.Heuristic)
 	}
+	if cfg.Parallelism < 0 {
+		return nil, fmt.Errorf("core: negative parallelism %d", cfg.Parallelism)
+	}
 	return &Scheduler{cfg: cfg}, nil
 }
 
@@ -61,15 +78,41 @@ func MustNewScheduler(cfg Config) *Scheduler {
 // Name implements types.Scheduler.
 func (n *Scheduler) Name() string { return "nezha" }
 
+// parallelism resolves the configured fan-out for an epoch of the given
+// size: 0 expands to GOMAXPROCS, and epochs below minParallelTxs always
+// run sequentially.
+func (n *Scheduler) parallelism(txs int) int {
+	p := n.cfg.Parallelism
+	if p == 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if txs < minParallelTxs {
+		return 1
+	}
+	return p
+}
+
 // Schedule implements types.Scheduler: ACG construction, sorting-rank
 // division, per-address transaction sorting (plus reordering and the safety
 // sweep), then schedule assembly. The returned breakdown maps onto the
-// paper's Fig. 10 phases.
+// paper's Fig. 10 phases and records the fan-out shape of the parallel
+// core (shards, conflict clusters).
+//
+// With Parallelism != 1 the graph is built by the key-sharded parallel
+// builder and sorting fans out across conflict-closure clusters; the
+// schedule is byte-identical to the sequential reference either way.
 func (n *Scheduler) Schedule(sims []*types.SimResult) (*types.Schedule, types.PhaseBreakdown, error) {
 	var pb types.PhaseBreakdown
+	par := n.parallelism(len(sims))
 
 	start := time.Now()
-	acg := BuildACG(sims)
+	var acg *ACG
+	if par > 1 {
+		acg = BuildACGSharded(sims, par)
+	} else {
+		acg = BuildACG(sims)
+	}
+	pb.Shards = par
 	pb.Graph = time.Since(start)
 
 	start = time.Now()
@@ -78,10 +121,21 @@ func (n *Scheduler) Schedule(sims []*types.SimResult) (*types.Schedule, types.Ph
 
 	start = time.Now()
 	srt := newSorter(acg, n.cfg.Reorder)
-	srt.run(ranks)
-	if !n.cfg.SkipSafetySweep {
-		srt.safetySweep()
+	if par > 1 {
+		clusters := conflictClusters(acg, ranks)
+		pb.SortClusters = len(clusters)
+		pb.MaxClusterAddrs = maxClusterLen(clusters)
+		srt.runParallel(clusters, par)
+		if !n.cfg.SkipSafetySweep {
+			srt.safetySweepParallel(clusters, par)
+		}
+	} else {
+		srt.run(ranks)
+		if !n.cfg.SkipSafetySweep {
+			srt.safetySweep()
+		}
 	}
+	srt.finish()
 
 	sched := types.NewSchedule()
 	for _, sim := range sims {
@@ -90,13 +144,7 @@ func (n *Scheduler) Schedule(sims []*types.SimResult) (*types.Schedule, types.Ph
 			sched.Abort(id, types.AbortUnserializable)
 			continue
 		}
-		seq := srt.seqOf[id]
-		if seq == 0 {
-			// A transaction that touched no state conflicts with
-			// nothing; it commits in the first group.
-			seq = initialSeq
-		}
-		sched.Commit(id, seq)
+		sched.Commit(id, srt.seqOf[id])
 	}
 	sched.NormalizeAborts()
 	pb.Sort = time.Since(start)

@@ -408,6 +408,7 @@ func BenchmarkScheduleUniform(b *testing.B) {
 			rng := rand.New(rand.NewSource(1))
 			_, sims := randomWorkload(rng, n, 10_000)
 			sched := MustNewScheduler(DefaultConfig())
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := sched.Schedule(sims); err != nil {

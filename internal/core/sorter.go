@@ -1,6 +1,10 @@
 package core
 
 import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
 	"github.com/nezha-dag/nezha/internal/types"
 )
 
@@ -10,13 +14,23 @@ import (
 const initialSeq types.Seq = 1
 
 // sorter carries the mutable state of hierarchical sorting across the
-// addresses of one epoch.
+// addresses of one epoch. All per-transaction state is held in dense slices
+// indexed by epoch-local id: the maps the original implementation used
+// dominated the scheduler's allocation profile, and dense slots are what
+// lets conflict-disjoint clusters run on separate goroutines without locks
+// (disjoint indices, no shared map buckets).
 type sorter struct {
 	acg     *ACG
 	reorder bool
 
-	seqOf   map[types.TxID]types.Seq
-	aborted map[types.TxID]bool
+	// seqOf[id] is the sequence number of transaction id. Invariant: 0
+	// means "not yet sorted" while the per-address passes are running;
+	// after finish() returns, every non-aborted transaction carries a
+	// nonzero number (transactions with units are assigned by
+	// sortAddress on their first address, stateless transactions get
+	// initialSeq in finish()), so 0 never leaks into a schedule.
+	seqOf   []types.Seq
+	aborted []bool
 	// used[j] records every sequence number carried by a unit on address
 	// j ("while writeSeq is assigned", Algorithm 2 line 31): two writes
 	// on one address must never share a number.
@@ -31,8 +45,8 @@ func newSorter(acg *ACG, reorder bool) *sorter {
 	return &sorter{
 		acg:         acg,
 		reorder:     reorder,
-		seqOf:       make(map[types.TxID]types.Seq, len(acg.sims)),
-		aborted:     make(map[types.TxID]bool),
+		seqOf:       make([]types.Seq, len(acg.sims)),
+		aborted:     make([]bool, len(acg.sims)),
 		used:        make([]map[types.Seq]bool, len(acg.Addrs)),
 		maxAssigned: make([]types.Seq, len(acg.Addrs)),
 	}
@@ -67,10 +81,65 @@ func (s *sorter) assign(id types.TxID, seq types.Seq) {
 // address processed afterwards.
 func (s *sorter) abortTx(id types.TxID) { s.aborted[id] = true }
 
-// run executes Algorithm 2 on every address in rank order.
+// run executes Algorithm 2 on every address in rank order — the sequential
+// reference the parallel path must reproduce byte for byte.
 func (s *sorter) run(ranks []int) {
 	for _, j := range ranks {
 		s.sortAddress(j)
+	}
+}
+
+// runParallel executes Algorithm 2 with cluster-level parallelism: the
+// conflict-closure clusters (see cluster.go) touch pairwise-disjoint
+// transaction and address state, so workers process whole clusters
+// concurrently — each cluster's addresses strictly in rank order — and the
+// final sorter state is identical to run's. Clusters are drained
+// largest-first purely for load balance; the order cannot affect the
+// result.
+func (s *sorter) runParallel(clusters [][]int, workers int) {
+	bySize := scheduleOrder(clusters)
+	if workers > len(bySize) {
+		workers = len(bySize)
+	}
+	if workers <= 1 {
+		for _, c := range bySize {
+			for _, j := range clusters[c] {
+				s.sortAddress(j)
+			}
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(bySize) {
+					return
+				}
+				for _, j := range clusters[bySize[i]] {
+					s.sortAddress(j)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// finish assigns initialSeq to every live transaction the per-address
+// passes never saw — the stateless ones, whose empty read and write sets
+// put them on no address vertex. They conflict with nothing and commit in
+// the first group. After finish, the seqOf invariant holds: every
+// non-aborted transaction has a nonzero sequence number.
+func (s *sorter) finish() {
+	for id, sim := range s.acg.sims {
+		if sim == nil || s.aborted[id] || s.seqOf[id] != 0 {
+			continue
+		}
+		s.seqOf[id] = initialSeq
 	}
 }
 
@@ -227,19 +296,58 @@ func (s *sorter) sortAddress(j int) {
 // and committed writes must carry pairwise-distinct numbers. Cross-address
 // reassignments (the line-17 bump and the §IV-D reordering) can violate
 // these in rare interleavings.
-//
-// Victims are chosen by greedy cover over the violating pairs — the same
-// flavor of victim selection the CG baseline's cycle removal uses — because
-// one reassigned reader frequently conflicts with many writers, and
-// aborting the reader alone resolves all of those pairs at once. Aborting
-// can only remove constraints, never add them, so the loop terminates with
-// a violation-free schedule, deterministically (fixed pair order, (count,
-// id) tie-breaks).
 func (s *sorter) safetySweep() {
-	type pair struct{ a, b types.TxID }
-	var pairs []pair
+	all := make([]int, len(s.acg.Addrs))
+	for j := range all {
+		all[j] = j
+	}
+	s.coverAborts(s.collectViolations(all))
+}
 
-	for j := range s.acg.Addrs {
+// safetySweepParallel runs the sweep per conflict-closure cluster on the
+// worker pool. Violating pairs only ever join transactions sharing an
+// address, so every pair is intra-cluster, and the global greedy cover
+// decomposes exactly into the per-cluster covers: a victim chosen in one
+// cluster never changes another cluster's counts, so the victim set —
+// which is all that reaches the schedule — matches the sequential sweep's.
+func (s *sorter) safetySweepParallel(clusters [][]int, workers int) {
+	bySize := scheduleOrder(clusters)
+	if workers > len(bySize) {
+		workers = len(bySize)
+	}
+	if workers <= 1 {
+		for _, c := range bySize {
+			s.coverAborts(s.collectViolations(clusters[c]))
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(bySize) {
+					return
+				}
+				c := clusters[bySize[i]]
+				s.coverAborts(s.collectViolations(c))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// violation is one per-address pair of committed transactions whose
+// sequence numbers break a strict-serializability invariant.
+type violation struct{ a, b types.TxID }
+
+// collectViolations gathers the violating pairs on the given addresses.
+func (s *sorter) collectViolations(addrs []int) []violation {
+	var pairs []violation
+	for _, j := range addrs {
 		addr := &s.acg.Addrs[j]
 		readers := make([]types.TxID, 0, len(addr.Reads))
 		for _, id := range addr.Reads {
@@ -266,7 +374,7 @@ func (s *sorter) safetySweep() {
 			}
 			for a := i; a < j; a++ {
 				for b := a + 1; b < j; b++ {
-					pairs = append(pairs, pair{writers[a], writers[b]})
+					pairs = append(pairs, violation{writers[a], writers[b]})
 				}
 			}
 			i = j
@@ -289,26 +397,27 @@ func (s *sorter) safetySweep() {
 			}
 			for _, r := range readers[lo:] {
 				if r != w {
-					pairs = append(pairs, pair{w, r})
+					pairs = append(pairs, violation{w, r})
 				}
 			}
 		}
 	}
+	return pairs
+}
 
-	// Greedy vertex cover: abort the transaction on the most violating
-	// pairs until none remain. Counts live in a dense slice (epoch-local
-	// ids) and update decrementally — rebuilding a map per round
-	// dominated the whole scheduler under high skew.
-	var maxID types.TxID
-	for _, p := range pairs {
-		if p.a > maxID {
-			maxID = p.a
-		}
-		if p.b > maxID {
-			maxID = p.b
-		}
+// coverAborts aborts a greedy vertex cover of the violating pairs — the
+// same flavor of victim selection the CG baseline's cycle removal uses —
+// because one reassigned reader frequently conflicts with many writers,
+// and aborting the reader alone resolves all of those pairs at once.
+// Aborting can only remove constraints, never add them, so the loop
+// terminates with a violation-free schedule, deterministically: the victim
+// each round is the maximum (count, id) pair, a total order, so the scan
+// order over the count map cannot change the choice.
+func (s *sorter) coverAborts(pairs []violation) {
+	if len(pairs) == 0 {
+		return
 	}
-	count := make([]int, maxID+1)
+	count := make(map[types.TxID]int, len(pairs))
 	for _, p := range pairs {
 		count[p.a]++
 		count[p.b]++
@@ -317,8 +426,8 @@ func (s *sorter) safetySweep() {
 		victim := types.TxID(0)
 		best := 0
 		for id, c := range count {
-			if c > best || (c == best && c > 0 && types.TxID(id) > victim) {
-				victim, best = types.TxID(id), c
+			if c > best || (c == best && c > 0 && id > victim) {
+				victim, best = id, c
 			}
 		}
 		s.abortTx(victim)
@@ -335,8 +444,26 @@ func (s *sorter) safetySweep() {
 	}
 }
 
+// scheduleOrder returns cluster indices sorted by descending size (ties by
+// ascending index): draining big clusters first keeps the worker pool
+// balanced when one cluster dominates.
+func scheduleOrder(clusters [][]int) []int {
+	order := make([]int, len(clusters))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := order[a], order[b]
+		if len(clusters[ca]) != len(clusters[cb]) {
+			return len(clusters[ca]) > len(clusters[cb])
+		}
+		return ca < cb
+	})
+	return order
+}
+
 // sortBySeqID sorts ids in ascending (sequence, id) order in place.
-func sortBySeqID(ids []types.TxID, seqOf map[types.TxID]types.Seq) {
+func sortBySeqID(ids []types.TxID, seqOf []types.Seq) {
 	// Insertion sort: the slices here are per-address write lists, which
 	// are short except under extreme skew, and the input is already
 	// nearly sorted by id.

@@ -12,6 +12,48 @@ import (
 	"github.com/nezha-dag/nezha/internal/types"
 )
 
+// StageStat records one named pipeline stage of one epoch: its wall-clock
+// span, how many work items it fanned out, the goroutines serving it, the
+// summed per-worker busy span, and how much of its cost ran hidden under
+// the previous epoch's commit (the cross-epoch overlap).
+type StageStat struct {
+	Name     string
+	Duration time.Duration
+	// Tasks is the number of work items the stage processed (blocks for
+	// validation, transactions for execution/scheduling, committed
+	// transactions for commitment).
+	Tasks int
+	// Workers is the goroutine count that served the stage (1 = inline).
+	Workers int
+	// Busy is the summed wall-clock span of the stage's workers; with
+	// Duration and Workers it yields the pool occupancy.
+	Busy time.Duration
+	// Overlap is work this stage would have done that already ran in the
+	// background, overlapped with the previous epoch's commit.
+	Overlap time.Duration
+}
+
+// Occupancy returns the fraction of the stage's worker capacity that was
+// busy: Busy / (Duration × Workers). 0 when the stage kept no busy span
+// (inline stages); values near 1 mean a balanced, saturated pool.
+func (s StageStat) Occupancy() float64 {
+	if s.Duration <= 0 || s.Workers <= 0 || s.Busy <= 0 {
+		return 0
+	}
+	return float64(s.Busy) / (float64(s.Duration) * float64(s.Workers))
+}
+
+// add accumulates another sample of the same stage.
+func (s *StageStat) add(o StageStat) {
+	s.Duration += o.Duration
+	s.Tasks += o.Tasks
+	if o.Workers > s.Workers {
+		s.Workers = o.Workers
+	}
+	s.Busy += o.Busy
+	s.Overlap += o.Overlap
+}
+
 // EpochStats records one processed epoch.
 type EpochStats struct {
 	Epoch            uint64
@@ -27,6 +69,10 @@ type EpochStats struct {
 	Commit   time.Duration
 	// ControlBreakdown splits Control into the Fig. 10 sub-phases.
 	ControlBreakdown types.PhaseBreakdown
+	// Stages lists the pipeline stages in execution order with their
+	// queue/occupancy counters (the staged-pipeline view of the four
+	// phase durations above).
+	Stages []StageStat
 }
 
 // Total returns the end-to-end processing latency of the epoch.
@@ -82,6 +128,9 @@ type Summary struct {
 	Commit   time.Duration
 
 	ControlBreakdown types.PhaseBreakdown
+	// Stages aggregates per-stage samples by name, preserving first-seen
+	// stage order.
+	Stages []StageStat
 }
 
 // Total returns the summed end-to-end latency.
@@ -114,6 +163,7 @@ func (c *Collector) Summarize() Summary {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var s Summary
+	stageIdx := make(map[string]int)
 	for _, e := range c.epochs {
 		s.Epochs++
 		s.Txs += e.Txs
@@ -124,6 +174,15 @@ func (c *Collector) Summarize() Summary {
 		s.Control += e.Control
 		s.Commit += e.Commit
 		s.ControlBreakdown.Add(e.ControlBreakdown)
+		for _, st := range e.Stages {
+			i, ok := stageIdx[st.Name]
+			if !ok {
+				i = len(s.Stages)
+				stageIdx[st.Name] = i
+				s.Stages = append(s.Stages, StageStat{Name: st.Name})
+			}
+			s.Stages[i].add(st)
+		}
 	}
 	return s
 }

@@ -17,12 +17,9 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
-	"time"
 
 	"github.com/nezha-dag/nezha/internal/consensus"
 	"github.com/nezha-dag/nezha/internal/core"
-	"github.com/nezha-dag/nezha/internal/crypto"
 	"github.com/nezha-dag/nezha/internal/dag"
 	"github.com/nezha-dag/nezha/internal/kvstore"
 	"github.com/nezha-dag/nezha/internal/metrics"
@@ -70,6 +67,11 @@ type Config struct {
 	// single-miner settings; multi-miner networks need >= 1 so that
 	// deterministic fork choice converges before epochs finalize.
 	ConfirmDepth uint64
+	// Parallelism sizes the pipeline's background work — the signature
+	// prevalidation of epoch e+1 that overlaps epoch e's commit; 0 means
+	// Workers. It is distinct from Workers so the overlapped stage can be
+	// kept off the critical path's cores.
+	Parallelism int
 	// Persist stores canonical blocks and chain metadata in the node's
 	// key-value store after every epoch, and New restores them on
 	// reopen — the restart durability a real full node has. Off by
@@ -95,6 +97,17 @@ type Node struct {
 	// the genesis root. Validation accepts a block whose StateRoot
 	// matches the root of a processed epoch below its height.
 	roots map[uint64]types.Hash
+	// preval is the in-flight background signature prevalidation, if any
+	// (see pipeline.go).
+	preval *prevalidation
+}
+
+// parallelism resolves cfg.Parallelism (0 means Workers).
+func (n *Node) parallelism() int {
+	if n.cfg.Parallelism > 0 {
+		return n.cfg.Parallelism
+	}
+	return n.cfg.Workers
 }
 
 // New creates a node over the given block/state store.
@@ -275,37 +288,22 @@ func (n *Node) ProcessEpoch(e uint64) (*EpochResult, error) {
 	return n.processBlocksLocked(e, blocks)
 }
 
-// processBlocksLocked is the shared four-phase pipeline body.
+// processBlocksLocked runs the epoch through the staged pipeline (see
+// pipeline.go for the stages) and finalizes the result.
 func (n *Node) processBlocksLocked(e uint64, blocks []*types.Block) (*EpochResult, error) {
 	stats := metrics.EpochStats{Epoch: e, BlockConcurrency: len(blocks)}
-	res := &EpochResult{Epoch: e}
-
-	// --- Validation phase: the state root in each block must correspond
-	// to a previously-agreed epoch state (§III-B). Invalid blocks are
-	// discarded, not fatal.
-	start := time.Now()
-	valid := blocks[:0]
-	for _, b := range blocks {
-		if n.validStateRootLocked(b) && n.validSignatures(b) {
-			valid = append(valid, b)
-		} else {
-			res.Discarded = append(res.Discarded, b.Hash())
-		}
+	er := &epochRun{
+		number: e,
+		blocks: blocks,
+		stats:  &stats,
+		res:    &EpochResult{Epoch: e},
 	}
-	epoch := types.NewEpoch(e, valid)
-	stats.Validate = time.Since(start)
-	stats.Txs = len(epoch.Txs)
-
-	// --- Remaining phases.
-	var (
-		sched *types.Schedule
-		err   error
-	)
+	stages := concurrentStages
 	if n.cfg.Scheduler == nil {
-		sched, err = n.runSerialLocked(epoch, &stats)
-	} else {
-		sched, err = n.runConcurrentLocked(epoch, &stats)
+		stages = serialStages
 	}
+	err := n.runStages(er, stages)
+	putResultsBuf(er.results)
 	if err != nil {
 		return nil, err
 	}
@@ -314,49 +312,24 @@ func (n *Node) processBlocksLocked(e uint64, blocks []*types.Block) (*EpochResul
 	n.roots[e] = n.state.Root()
 	n.ledger.Finalize(e)
 	if n.cfg.Persist {
-		if err := n.persistEpochLocked(e, epoch.Blocks); err != nil {
+		if err := n.persistEpochLocked(e, er.epoch.Blocks); err != nil {
 			return nil, err
 		}
 	}
-	res.StateRoot = n.state.Root()
-	res.Schedule = sched
-	stats.Committed = sched.CommittedCount()
-	res.Stats = stats
+	er.res.StateRoot = n.state.Root()
+	er.res.Schedule = er.sched
+	stats.Committed = er.sched.CommittedCount()
+	er.res.Stats = stats
 	n.coll.Record(stats)
-	return res, nil
+	return er.res, nil
 }
 
-// validSignatures checks every transaction signature in a block when the
-// node is configured to; the check parallelizes across the worker pool
-// (signature verification is the validation phase's dominant cost on real
-// chains).
+// validSignatures checks every transaction signature in a block across the
+// worker pool (signature verification is the validation phase's dominant
+// cost on real chains). It is the inline fallback for blocks the
+// background prevalidation did not cover.
 func (n *Node) validSignatures(b *types.Block) bool {
-	if !n.cfg.VerifySignatures {
-		return true
-	}
-	var bad atomic.Bool
-	var wg sync.WaitGroup
-	jobs := make(chan *types.Transaction)
-	for w := 0; w < n.cfg.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for tx := range jobs {
-				if crypto.VerifyTx(tx) != nil {
-					bad.Store(true)
-				}
-			}
-		}()
-	}
-	for _, tx := range b.Txs {
-		if bad.Load() {
-			break
-		}
-		jobs <- tx
-	}
-	close(jobs)
-	wg.Wait()
-	return !bad.Load()
+	return n.checkSignatures(b, n.cfg.Workers)
 }
 
 // validStateRootLocked implements the validation-phase root check. OHIE's
@@ -373,78 +346,18 @@ func (n *Node) validStateRootLocked(b *types.Block) bool {
 	return false
 }
 
-// runConcurrentLocked is the speculative path: concurrent execution,
-// concurrency control, group-concurrent commitment.
-func (n *Node) runConcurrentLocked(epoch *types.Epoch, stats *metrics.EpochStats) (*types.Schedule, error) {
-	// --- Concurrent execution phase.
-	start := time.Now()
-	snap := n.state.Snapshot()
-	results := make([]*types.SimResult, len(epoch.Txs))
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < n.cfg.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				results[i] = n.simulate(epoch.Txs[i], snap)
-			}
-		}()
-	}
-	for i := range epoch.Txs {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-
-	sims := make([]*types.SimResult, 0, len(results))
-	var execFailed []types.TxID
-	for _, r := range results {
-		if r.Err != nil {
-			execFailed = append(execFailed, r.Tx.ID)
-			continue
-		}
-		sims = append(sims, r)
-	}
-	stats.ExecutionFailed = len(execFailed)
-	stats.Execute = time.Since(start)
-
-	// --- Concurrency control phase.
-	start = time.Now()
-	sched, breakdown, err := n.cfg.Scheduler.Schedule(sims)
-	if err != nil {
-		return nil, fmt.Errorf("node: schedule epoch %d: %w", epoch.Number, err)
-	}
-	for _, id := range execFailed {
-		sched.Abort(id, types.AbortExecution)
-	}
-	sched.NormalizeAborts()
-	stats.Aborted = sched.AbortedCount() - len(execFailed)
-	stats.Control = time.Since(start)
-	stats.ControlBreakdown = breakdown
-
-	if n.cfg.VerifySchedules {
-		if err := verifyAgainstSnapshot(snap, sims, sched); err != nil {
-			return nil, fmt.Errorf("node: epoch %d schedule unsound: %w", epoch.Number, err)
-		}
-	}
-
-	// --- Commitment phase: groups apply concurrently to the in-memory
-	// overlay, then the updated cells flush to the trie and store.
-	start = time.Now()
-	if _, err := CommitSchedule(n.state, sims, sched, n.cfg.Workers); err != nil {
-		return nil, fmt.Errorf("node: commit epoch %d: %w", epoch.Number, err)
-	}
-	stats.Commit = time.Since(start)
-	return sched, nil
-}
-
 // CommitSchedule is the commitment phase (§III-B) as a reusable function:
 // commit groups apply their writes concurrently (workers-wide) to a sharded
 // in-memory overlay in increasing sequence order, and the updated cells
 // then flush to the state trie in one batch. The benchmark harness calls it
 // directly to measure commit latency per scheme.
 func CommitSchedule(db *statedb.StateDB, sims []*types.SimResult, sched *types.Schedule, workers int) (types.Hash, error) {
+	return commitScheduleInto(db, sims, sched, workers, newOverlay())
+}
+
+// commitScheduleInto is CommitSchedule writing through a caller-supplied
+// (possibly pooled) overlay. The overlay must be empty.
+func commitScheduleInto(db *statedb.StateDB, sims []*types.SimResult, sched *types.Schedule, workers int, ov *overlay) (types.Hash, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -452,41 +365,10 @@ func CommitSchedule(db *statedb.StateDB, sims []*types.SimResult, sched *types.S
 	for _, sim := range sims {
 		byID[sim.Tx.ID] = sim
 	}
-	overlay := newOverlay()
 	for _, group := range sched.Groups() {
-		applyGroup(overlay, group, byID, workers)
+		applyGroup(ov, group, byID, workers)
 	}
-	return db.Commit(overlay.entries())
-}
-
-// runSerialLocked is the baseline of §VI-B: execute and commit each
-// transaction in order against the live state, no speculation, no aborts
-// (failed executions are skipped, as a failed EVM transaction would be).
-func (n *Node) runSerialLocked(epoch *types.Epoch, stats *metrics.EpochStats) (*types.Schedule, error) {
-	start := time.Now()
-	sched := types.NewSchedule()
-	seq := types.Seq(1)
-	for _, tx := range epoch.Txs {
-		snap := n.state.Snapshot()
-		sim := n.simulate(tx, snap)
-		if sim.Err != nil {
-			sched.Abort(tx.ID, types.AbortExecution)
-			stats.ExecutionFailed++
-			continue
-		}
-		if _, err := n.state.Commit(sim.Writes); err != nil {
-			return nil, fmt.Errorf("node: serial commit: %w", err)
-		}
-		sched.Commit(tx.ID, seq)
-		seq++
-	}
-	sched.NormalizeAborts()
-	// Serial processing has no distinct phases: report everything as
-	// execute+commit time, split evenly for display purposes.
-	total := time.Since(start)
-	stats.Execute = total / 2
-	stats.Commit = total - stats.Execute
-	return sched, nil
+	return db.Commit(ov.entries())
 }
 
 // simulate speculatively executes one transaction against a snapshot.

@@ -1,0 +1,393 @@
+package node
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/nezha-dag/nezha/internal/crypto"
+	"github.com/nezha-dag/nezha/internal/metrics"
+	"github.com/nezha-dag/nezha/internal/statedb"
+	"github.com/nezha-dag/nezha/internal/types"
+)
+
+// The epoch pipeline as named stages.
+//
+// processBlocksLocked used to be one monolithic body; it is now a stage
+// list, each stage a named function over the shared epochRun scratch. The
+// stage boundary is also the measurement boundary: runStages times every
+// stage into a metrics.StageStat (queue depth, worker count, busy time)
+// and keeps the legacy EpochStats phase fields in sync, so the per-phase
+// numbers reported by earlier versions are unchanged.
+//
+// Cross-epoch overlap: the only inter-epoch dependency is the state
+// snapshot — execution of epoch e+1 needs the post-commit state of epoch
+// e, but signature validation of e+1 needs no state at all. The commit
+// stage therefore kicks a background signature prevalidation of epoch
+// e+1 (kickPrevalidation) that runs under epoch e's MPT/LSM commit; the
+// next validate stage collects it (takePrevalidation) and falls back to
+// inline checking for any block the background pass did not cover.
+
+// stage is one named step of the epoch pipeline. run receives the stage's
+// StageStat with Name and Workers pre-filled and may refine Tasks, Busy,
+// Workers, and Overlap; runStages fills Duration.
+type stage struct {
+	name string
+	run  func(n *Node, er *epochRun, ss *metrics.StageStat) error
+}
+
+// epochRun is the scratch state one epoch threads through its stages.
+type epochRun struct {
+	number uint64
+	blocks []*types.Block
+
+	epoch      *types.Epoch
+	snap       *statedb.Snapshot
+	results    []*types.SimResult // pooled; nil-ed and returned after the epoch
+	sims       []*types.SimResult // results minus execution failures
+	execFailed []types.TxID
+	sched      *types.Schedule
+
+	stats *metrics.EpochStats
+	res   *EpochResult
+}
+
+// concurrentStages is the speculative pipeline of §III-B: validation,
+// concurrent execution, concurrency control, group-concurrent commitment.
+var concurrentStages = []stage{
+	{"validate", (*Node).validateStage},
+	{"execute", (*Node).executeStage},
+	{"schedule", (*Node).scheduleStage},
+	{"commit", (*Node).commitStage},
+}
+
+// serialStages is the serial baseline of §VI-B behind the same harness.
+var serialStages = []stage{
+	{"validate", (*Node).validateStage},
+	{"serial", (*Node).serialStage},
+}
+
+// runStages drives the pipeline: each stage is timed into a StageStat
+// appended to stats.Stages, and its duration is mirrored onto the legacy
+// phase field the stage corresponds to.
+func (n *Node) runStages(er *epochRun, stages []stage) error {
+	for _, st := range stages {
+		ss := metrics.StageStat{Name: st.name, Workers: 1}
+		start := time.Now()
+		if err := st.run(n, er, &ss); err != nil {
+			return err
+		}
+		ss.Duration = time.Since(start)
+		er.stats.Stages = append(er.stats.Stages, ss)
+
+		switch st.name {
+		case "validate":
+			er.stats.Validate = ss.Duration
+		case "execute":
+			er.stats.Execute = ss.Duration
+		case "schedule":
+			er.stats.Control = ss.Duration
+		case "commit":
+			er.stats.Commit = ss.Duration
+		case "serial":
+			// Serial processing has no distinct phases: report the time
+			// as execute+commit, split evenly for display purposes.
+			er.stats.Execute = ss.Duration / 2
+			er.stats.Commit = ss.Duration - er.stats.Execute
+		}
+	}
+	return nil
+}
+
+// validateStage discards blocks whose state root does not match an agreed
+// epoch state or that carry an invalid signature (§III-B). Signature
+// verdicts prevalidated under the previous epoch's commit are consumed
+// here; blocks the background pass missed are checked inline.
+func (n *Node) validateStage(er *epochRun, ss *metrics.StageStat) error {
+	pv := n.takePrevalidation(er.number)
+	ss.Tasks = len(er.blocks)
+	ss.Workers = n.cfg.Workers
+	if pv != nil {
+		// Time the background pass spent under the previous commit —
+		// latency this epoch did not pay.
+		ss.Overlap = pv.elapsed
+	}
+	valid := er.blocks[:0]
+	for _, b := range er.blocks {
+		sigOK := true
+		if n.cfg.VerifySignatures {
+			if verdict, ok := pv.lookup(b.Hash()); ok {
+				sigOK = verdict
+			} else {
+				sigOK = n.validSignatures(b)
+			}
+		}
+		if sigOK && n.validStateRootLocked(b) {
+			valid = append(valid, b)
+		} else {
+			er.res.Discarded = append(er.res.Discarded, b.Hash())
+		}
+	}
+	er.epoch = types.NewEpoch(er.number, valid)
+	er.stats.Txs = len(er.epoch.Txs)
+	return nil
+}
+
+// executeStage speculatively executes the epoch's transactions against the
+// current state snapshot on the worker pool. Workers pull indices from an
+// atomic counter (cheaper than a channel at this fan-out) and write
+// disjoint slots of the pooled results buffer; per-worker busy spans feed
+// the stage's occupancy counters.
+func (n *Node) executeStage(er *epochRun, ss *metrics.StageStat) error {
+	er.snap = n.state.Snapshot()
+	txs := er.epoch.Txs
+	er.results = getResultsBuf(len(txs))
+	workers := n.cfg.Workers
+	if workers > len(txs) && len(txs) > 0 {
+		workers = len(txs)
+	}
+	ss.Tasks = len(txs)
+	ss.Workers = workers
+
+	busy := make([]time.Duration, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			t0 := time.Now()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(txs) {
+					break
+				}
+				er.results[i] = n.simulate(txs[i], er.snap)
+			}
+			busy[w] = time.Since(t0)
+		}(w)
+	}
+	wg.Wait()
+	for _, d := range busy {
+		ss.Busy += d
+	}
+
+	er.sims = make([]*types.SimResult, 0, len(er.results))
+	for _, r := range er.results {
+		if r.Err != nil {
+			er.execFailed = append(er.execFailed, r.Tx.ID)
+			continue
+		}
+		er.sims = append(er.sims, r)
+	}
+	er.stats.ExecutionFailed = len(er.execFailed)
+	return nil
+}
+
+// scheduleStage runs the configured concurrency-control scheme and folds
+// execution failures into the abort set.
+func (n *Node) scheduleStage(er *epochRun, ss *metrics.StageStat) error {
+	sched, breakdown, err := n.cfg.Scheduler.Schedule(er.sims)
+	if err != nil {
+		return fmt.Errorf("node: schedule epoch %d: %w", er.number, err)
+	}
+	for _, id := range er.execFailed {
+		sched.Abort(id, types.AbortExecution)
+	}
+	sched.NormalizeAborts()
+	er.sched = sched
+	er.stats.Aborted = sched.AbortedCount() - len(er.execFailed)
+	er.stats.ControlBreakdown = breakdown
+	ss.Tasks = len(er.sims)
+	ss.Workers = breakdown.Shards
+
+	if n.cfg.VerifySchedules {
+		if err := verifyAgainstSnapshot(er.snap, er.sims, sched); err != nil {
+			return fmt.Errorf("node: epoch %d schedule unsound: %w", er.number, err)
+		}
+	}
+	return nil
+}
+
+// commitStage applies the commit groups concurrently to a pooled overlay
+// and flushes the updated cells to the trie and store. Before the flush
+// starts it kicks the background signature prevalidation of the NEXT
+// epoch, so that work rides under this epoch's MPT/LSM commit.
+func (n *Node) commitStage(er *epochRun, ss *metrics.StageStat) error {
+	n.kickPrevalidation(er.number + 1)
+	ss.Tasks = er.sched.CommittedCount()
+	ss.Workers = n.cfg.Workers
+	ov := overlayPool.Get().(*overlay)
+	if _, err := commitScheduleInto(n.state, er.sims, er.sched, n.cfg.Workers, ov); err != nil {
+		return fmt.Errorf("node: commit epoch %d: %w", er.number, err)
+	}
+	ov.reset()
+	overlayPool.Put(ov)
+	return nil
+}
+
+// serialStage is the baseline of §VI-B: execute and commit each
+// transaction in order against the live state, no speculation, no aborts
+// (failed executions are skipped, as a failed EVM transaction would be).
+func (n *Node) serialStage(er *epochRun, ss *metrics.StageStat) error {
+	sched := types.NewSchedule()
+	seq := types.Seq(1)
+	for _, tx := range er.epoch.Txs {
+		snap := n.state.Snapshot()
+		sim := n.simulate(tx, snap)
+		if sim.Err != nil {
+			sched.Abort(tx.ID, types.AbortExecution)
+			er.stats.ExecutionFailed++
+			continue
+		}
+		if _, err := n.state.Commit(sim.Writes); err != nil {
+			return fmt.Errorf("node: serial commit: %w", err)
+		}
+		sched.Commit(tx.ID, seq)
+		seq++
+	}
+	sched.NormalizeAborts()
+	er.sched = sched
+	ss.Tasks = len(er.epoch.Txs)
+	return nil
+}
+
+// prevalidation is one background signature-checking run for an upcoming
+// epoch. The goroutine writes ok and elapsed strictly before closing done,
+// so a reader that waits on done observes both.
+type prevalidation struct {
+	epoch   uint64
+	done    chan struct{}
+	ok      map[types.Hash]bool
+	elapsed time.Duration
+}
+
+// lookup returns the prevalidated verdict for a block, if the background
+// pass covered it. Nil-receiver safe: no prevalidation means no verdicts.
+func (pv *prevalidation) lookup(h types.Hash) (verdict, covered bool) {
+	if pv == nil {
+		return false, false
+	}
+	v, ok := pv.ok[h]
+	return v, ok
+}
+
+// kickPrevalidation starts checking epoch e's block signatures in the
+// background. Caller holds n.mu; the goroutine itself must not touch any
+// mu-guarded state — it reads only the ledger (internally locked; blocks
+// are immutable once added) and writes its own prevalidation record.
+// Fork-choice races are harmless: verdicts are keyed by block hash and the
+// validate stage re-checks uncovered blocks inline.
+func (n *Node) kickPrevalidation(e uint64) {
+	if !n.cfg.VerifySignatures {
+		return
+	}
+	blocks, ok := n.ledger.EpochBlocks(e)
+	if !ok || len(blocks) == 0 {
+		return
+	}
+	pv := &prevalidation{
+		epoch: e,
+		done:  make(chan struct{}),
+		ok:    make(map[types.Hash]bool, len(blocks)),
+	}
+	n.preval = pv
+	workers := n.parallelism()
+	go func() {
+		start := time.Now()
+		for _, b := range blocks {
+			pv.ok[b.Hash()] = n.checkSignatures(b, workers)
+		}
+		pv.elapsed = time.Since(start)
+		close(pv.done)
+	}()
+}
+
+// takePrevalidation claims the pending background run for epoch e, waiting
+// for it to finish. A run for a different epoch (fork reorg, assembled
+// epochs bypassing the ledger) is dropped without waiting — its goroutine
+// only touches its own record and dies quietly.
+func (n *Node) takePrevalidation(e uint64) *prevalidation {
+	pv := n.preval
+	n.preval = nil
+	if pv == nil || pv.epoch != e {
+		return nil
+	}
+	<-pv.done
+	return pv
+}
+
+// checkSignatures verifies every transaction signature in a block across
+// the given number of workers.
+func (n *Node) checkSignatures(b *types.Block, workers int) bool {
+	if workers > len(b.Txs) {
+		workers = len(b.Txs)
+	}
+	if workers <= 1 {
+		for _, tx := range b.Txs {
+			if crypto.VerifyTx(tx) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	var bad atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !bad.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(b.Txs) {
+					return
+				}
+				if crypto.VerifyTx(b.Txs[i]) != nil {
+					bad.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return !bad.Load()
+}
+
+// Per-epoch scratch pools. Epochs allocate a results buffer sized to the
+// transaction count and a 16-shard commit overlay; both are recycled
+// across epochs (and across nodes — the pools are package-level, and the
+// buffers carry no node identity).
+var (
+	simResultsPool sync.Pool
+	overlayPool    = sync.Pool{New: func() any { return newOverlay() }}
+)
+
+// getResultsBuf returns a pooled simulation-results buffer with length n.
+func getResultsBuf(n int) []*types.SimResult {
+	if v := simResultsPool.Get(); v != nil {
+		if buf := v.([]*types.SimResult); cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]*types.SimResult, n)
+}
+
+// putResultsBuf nils the buffer (dropping the sim references for the GC)
+// and returns it to the pool.
+func putResultsBuf(buf []*types.SimResult) {
+	if buf == nil {
+		return
+	}
+	for i := range buf {
+		buf[i] = nil
+	}
+	simResultsPool.Put(buf[:0]) //nolint:staticcheck // slice headers are cheap relative to the backing array win
+}
+
+// reset clears the overlay's shard maps for reuse.
+func (ov *overlay) reset() {
+	for i := range ov.shards {
+		clear(ov.shards[i].m)
+	}
+}
