@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"github.com/nezha-dag/nezha/internal/bench"
+	"github.com/nezha-dag/nezha/internal/metrics"
 )
 
 func main() {
@@ -46,8 +47,18 @@ func run() error {
 		blockSize = flag.Int("blocksize", 0, "transactions per block (0 = default)")
 		workers   = flag.Int("workers", 0, "worker threads (0 = GOMAXPROCS)")
 		par       = flag.Int("parallelism", 0, "scheduler-core fan-out (0 = GOMAXPROCS, 1 = sequential reference)")
+		addr      = flag.String("metrics-addr", "", "serve /metrics, /healthz, and pprof during the run (empty = off)")
 	)
 	flag.Parse()
+
+	if *addr != "" {
+		srv, err := metrics.StartServer(*addr, metrics.Default())
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics\n", srv.Addr())
+	}
 
 	if *par < 0 {
 		return fmt.Errorf("-parallelism must be >= 0 (0 = GOMAXPROCS, 1 = sequential reference), got %d", *par)

@@ -6,6 +6,10 @@
 // Usage:
 //
 //	nezha-inspect -txs 200 -skew 0.8 -accounts 10000 -v
+//	nezha-inspect metrics -addr localhost:9090 -filter nezha_stage
+//
+// The metrics subcommand scrapes a live -metrics-addr endpoint and
+// pretty-prints the exposition (see metrics.go).
 package main
 
 import (
@@ -21,6 +25,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "metrics" {
+		if err := runMetricsCmd(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "nezha-inspect: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(); err != nil {
 		fmt.Fprintf(os.Stderr, "nezha-inspect: %v\n", err)
 		os.Exit(1)

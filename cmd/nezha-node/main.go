@@ -10,6 +10,11 @@
 // Usage:
 //
 //	nezha-node -nodes 4 -chains 4 -epochs 3 -skew 0.6 -scheduler nezha
+//	nezha-node -metrics-addr :9090 -trace-out epochs.trace.json
+//
+// -metrics-addr serves live telemetry (/metrics in Prometheus text
+// format, /healthz, /debug/pprof) while the network runs; -trace-out
+// writes the full node's per-stage spans as Chrome trace-event JSON.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"github.com/nezha-dag/nezha/internal/contracts/smallbank"
 	"github.com/nezha-dag/nezha/internal/core"
 	"github.com/nezha-dag/nezha/internal/kvstore"
+	"github.com/nezha-dag/nezha/internal/metrics"
 	"github.com/nezha-dag/nezha/internal/node"
 	"github.com/nezha-dag/nezha/internal/p2p"
 	"github.com/nezha-dag/nezha/internal/types"
@@ -51,8 +57,20 @@ func run() error {
 		schedName  = flag.String("scheduler", "nezha", "nezha | cg | serial")
 		latency    = flag.Duration("latency", time.Millisecond, "simulated network latency")
 		datadir    = flag.String("datadir", "", "directory for durable LSM stores (empty = in-memory)")
+		addr       = flag.String("metrics-addr", "", "serve /metrics, /healthz, and pprof on this host:port (empty = off)")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of the full node's epochs to this file")
+		retain     = flag.Int("retain-stats", 4096, "per-epoch stat records each node retains (0 = unbounded)")
 	)
 	flag.Parse()
+
+	if *addr != "" {
+		srv, err := metrics.StartServer(*addr, metrics.Default())
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: http://%s/metrics (healthz, debug/pprof alongside)\n", srv.Addr())
+	}
 
 	makeScheduler := func() (types.Scheduler, error) {
 		switch *schedName {
@@ -115,12 +133,13 @@ func run() error {
 			store, persist = lsm, true
 		}
 		n, err := node.New(id, store, node.Config{
-			Consensus:     consensus.Params{Chains: *chains, DifficultyBits: *difficulty},
-			Scheduler:     sched,
-			Contracts:     map[types.Address][]byte{smallbank.ContractAddress: smallbank.Program()},
-			GenesisWrites: genesis,
-			ConfirmDepth:  3,
-			Persist:       persist,
+			Consensus:        consensus.Params{Chains: *chains, DifficultyBits: *difficulty},
+			Scheduler:        sched,
+			Contracts:        map[types.Address][]byte{smallbank.ContractAddress: smallbank.Program()},
+			GenesisWrites:    genesis,
+			ConfirmDepth:     3,
+			Persist:          persist,
+			RetainEpochStats: *retain,
 		})
 		if err != nil {
 			return err
@@ -136,6 +155,12 @@ func run() error {
 		peers[i] = &peer{node: n, miner: m, ep: ep}
 	}
 	fullNode := peers[*nodes]
+	var tracer *metrics.Tracer
+	if *traceOut != "" {
+		// Trace the full node — the paper's measurement vantage point.
+		tracer = metrics.NewTracer()
+		fullNode.node.SetTracer(tracer)
+	}
 
 	// The client proposes transactions over the network; miners pick
 	// them up from their inboxes (MsgTxs), exactly the paper's topology.
@@ -237,5 +262,12 @@ func run() error {
 		return fmt.Errorf("nodes at the same epoch DISAGREE on the state root")
 	}
 	fmt.Println("nodes at the same epoch agree on the state root")
+	if tracer != nil {
+		if err := tracer.WriteFile(*traceOut); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d spans written to %s (load in https://ui.perfetto.dev or chrome://tracing)\n",
+			tracer.Len(), *traceOut)
+	}
 	return nil
 }

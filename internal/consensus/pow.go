@@ -16,7 +16,18 @@ import (
 	"fmt"
 
 	"github.com/nezha-dag/nezha/internal/dag"
+	"github.com/nezha-dag/nezha/internal/metrics"
 	"github.com/nezha-dag/nezha/internal/types"
+)
+
+// Live mining/verification counters on the default registry.
+var (
+	mBlocksMined = metrics.Default().Counter("nezha_pow_blocks_mined_total",
+		"Blocks successfully mined by this process.")
+	mHashAttempts = metrics.Default().Counter("nezha_pow_hash_attempts_total",
+		"Nonces tried across all mining calls.")
+	mVerifyFailures = metrics.Default().Counter("nezha_pow_verify_failures_total",
+		"Blocks rejected for missing the difficulty target.")
 )
 
 // Params configures mining and verification.
@@ -55,6 +66,7 @@ func MeetsTarget(h types.Hash, bits int) bool {
 // VerifyPoW checks a block's proof of work.
 func VerifyPoW(b *types.Block, p Params) error {
 	if !MeetsTarget(b.Hash(), p.DifficultyBits) {
+		mVerifyFailures.Inc()
 		return fmt.Errorf("consensus: block %s misses difficulty %d", b.Hash().Short(), p.DifficultyBits)
 	}
 	return nil
@@ -98,6 +110,7 @@ func Mine(ctx context.Context, t Template, p Params) (*types.Block, error) {
 		if nonce%4096 == 0 {
 			select {
 			case <-ctx.Done():
+				mHashAttempts.Add(float64(nonce - t.NonceSeed))
 				return nil, fmt.Errorf("%w: %v", ErrMiningCancelled, ctx.Err())
 			default:
 			}
@@ -105,11 +118,13 @@ func Mine(ctx context.Context, t Template, p Params) (*types.Block, error) {
 		b.Header.Nonce = nonce
 		b.InvalidateHash()
 		if MeetsTarget(b.Hash(), p.DifficultyBits) {
+			mHashAttempts.Add(float64(nonce - t.NonceSeed + 1))
 			break
 		}
 	}
 	if err := t.Ledger.DeriveFields(b); err != nil {
 		return nil, err
 	}
+	mBlocksMined.Inc()
 	return b, nil
 }

@@ -5,8 +5,26 @@ import (
 	"runtime"
 	"time"
 
+	"github.com/nezha-dag/nezha/internal/metrics"
 	"github.com/nezha-dag/nezha/internal/types"
 )
+
+// Live counters on the default registry: scheduling runs, abort totals by
+// reason, and the §IV-D reorder rescues (aborts the enhancement avoided).
+var (
+	schedRuns = metrics.Default().Counter("nezha_sched_runs_total",
+		"Scheduler invocations (one per epoch).", schemeLabel)
+	schedTxs = metrics.Default().Counter("nezha_sched_txs_total",
+		"Simulation results entering concurrency control.", schemeLabel)
+	schedCommits = metrics.Default().Counter("nezha_sched_commits_total",
+		"Transactions committed by concurrency control.", schemeLabel)
+	schedAborts = metrics.Default().Counter("nezha_sched_aborts_total",
+		"Transactions aborted as unserializable (Fig. 11).", schemeLabel)
+	schedRescues = metrics.Default().Counter("nezha_sched_reorder_rescues_total",
+		"Write-write conflicts re-sequenced by the reordering enhancement instead of aborted.", schemeLabel)
+)
+
+var schemeLabel = metrics.Label{Name: "scheme", Value: "nezha"}
 
 // Config tunes the Nezha scheduler. The zero value is NOT valid; use
 // DefaultConfig (the paper's full design) and override fields as needed.
@@ -148,6 +166,13 @@ func (n *Scheduler) Schedule(sims []*types.SimResult) (*types.Schedule, types.Ph
 	}
 	sched.NormalizeAborts()
 	pb.Sort = time.Since(start)
+	pb.Rescued = int(srt.rescued.Load())
+
+	schedRuns.Inc()
+	schedTxs.Add(float64(len(sims)))
+	schedCommits.Add(float64(sched.CommittedCount()))
+	schedAborts.Add(float64(sched.AbortedCount()))
+	schedRescues.Add(float64(pb.Rescued))
 
 	return sched, pb, nil
 }

@@ -39,6 +39,9 @@ type sorter struct {
 	// consulted by the reordering enhancement (§IV-D: "find the maximum
 	// assigned sequence number on A_j and A_j+1").
 	maxAssigned []types.Seq
+	// rescued counts transactions the §IV-D reordering re-sequenced
+	// instead of aborting — atomic because clusters sort in parallel.
+	rescued atomic.Int64
 }
 
 func newSorter(acg *ACG, reorder bool) *sorter {
@@ -266,6 +269,7 @@ func (s *sorter) sortAddress(j int) {
 				top = maxRead
 			}
 			s.assign(id, top+1)
+			s.rescued.Add(1)
 			continue
 		}
 		s.abortTx(id)

@@ -20,10 +20,29 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 
+	"github.com/nezha-dag/nezha/internal/metrics"
 	"github.com/nezha-dag/nezha/internal/types"
 )
+
+// Live gauges/counters on the default registry. Multi-node simulations
+// share one process, so these aggregate across every in-process ledger;
+// a production node has exactly one.
+var (
+	mBlocksAdded = metrics.Default().Counter("nezha_dag_blocks_added_total",
+		"Valid candidate blocks accepted into the DAG.")
+	mFinalizedEpoch = metrics.Default().Gauge("nezha_dag_finalized_epoch",
+		"Finalization watermark (highest immutable epoch).")
+)
+
+// chainHeightGauge returns the per-chain canonical tip height gauge.
+func chainHeightGauge(chain uint32) *metrics.Gauge {
+	return metrics.Default().Gauge("nezha_dag_chain_height",
+		"Canonical tip height per parallel chain.",
+		metrics.Label{Name: "chain", Value: strconv.FormatUint(uint64(chain), 10)})
+}
 
 // Ledger errors.
 var (
@@ -198,6 +217,8 @@ func (l *Ledger) Add(b *types.Block) error {
 	sort.Slice(kids, func(i, j int) bool { return lessHash(kids[i].Hash(), kids[j].Hash()) })
 	l.children[b.Header.ParentHash] = kids
 	l.recomputeCanonicalLocked(b.Header.ChainID)
+	mBlocksAdded.Inc()
+	chainHeightGauge(b.Header.ChainID).Set(float64(len(l.canonical[b.Header.ChainID]) - 1))
 	return nil
 }
 
@@ -307,6 +328,7 @@ func (l *Ledger) Finalize(e uint64) {
 	defer l.mu.Unlock()
 	if e > l.finalized {
 		l.finalized = e
+		mFinalizedEpoch.Set(float64(e))
 	}
 }
 

@@ -9,6 +9,25 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"github.com/nezha-dag/nezha/internal/metrics"
+)
+
+// Live storage counters on the default registry, aggregated across every
+// open store in the process.
+var (
+	mFlushes = metrics.Default().Counter("nezha_lsm_flushes_total",
+		"Memtable flushes to a new SSTable.")
+	mFlushBytes = metrics.Default().Counter("nezha_lsm_flush_bytes_total",
+		"Payload bytes flushed out of memtables.")
+	mCompactions = metrics.Default().Counter("nezha_lsm_compactions_total",
+		"Full (size-tiered) compactions run.")
+	mTables = metrics.Default().Gauge("nezha_lsm_tables",
+		"Live SSTables across all open stores.")
+	mWALRecords = metrics.Default().Counter("nezha_lsm_wal_records_total",
+		"Records appended to write-ahead logs.")
+	mWALBytes = metrics.Default().Counter("nezha_lsm_wal_bytes_total",
+		"Bytes appended to write-ahead logs (including framing).")
 )
 
 // LSMOptions tunes the LSM store.
@@ -88,6 +107,7 @@ func OpenLSM(dir string, opts LSMOptions) (*LSM, error) {
 			s.nextNo = no + 1
 		}
 	}
+	mTables.Add(float64(len(s.tables)))
 
 	// Replay the WAL into a fresh memtable, then keep appending to the
 	// same log (replayed records are idempotent on the next recovery).
@@ -190,6 +210,8 @@ func (s *LSM) flushLocked() error {
 	if s.mem.length == 0 {
 		return nil
 	}
+	mFlushes.Inc()
+	mFlushBytes.Add(float64(s.mem.bytes))
 	entries := make([]sstEntry, 0, s.mem.length)
 	s.mem.scan(nil, func(key, value []byte, tombstone bool) bool {
 		entries = append(entries, sstEntry{key: key, value: value, tombstone: tombstone})
@@ -205,6 +227,7 @@ func (s *LSM) flushLocked() error {
 		return err
 	}
 	s.tables = append(s.tables, t)
+	mTables.Add(1)
 
 	// The memtable is durable in the table now: reset the log.
 	if err := s.log.close(); err != nil {
@@ -263,6 +286,8 @@ func (s *LSM) compactLocked() error {
 	}
 	old := s.tables
 	s.tables = []*sstable{t}
+	mCompactions.Inc()
+	mTables.Add(float64(1 - len(old))) // the merged output replaced len(old) inputs
 	for _, o := range old {
 		if err := os.Remove(o.path); err != nil {
 			return fmt.Errorf("kvstore: remove compacted table: %w", err)
@@ -346,5 +371,6 @@ func (s *LSM) Close() error {
 		return nil
 	}
 	s.closed = true
+	mTables.Add(-float64(len(s.tables)))
 	return s.log.close()
 }

@@ -52,6 +52,8 @@ func (w *wal) append(op byte, key, value []byte) error {
 	if _, err := w.w.Write(payload); err != nil {
 		return fmt.Errorf("kvstore: wal write: %w", err)
 	}
+	mWALRecords.Inc()
+	mWALBytes.Add(float64(len(crc) + len(payload)))
 	return nil
 }
 

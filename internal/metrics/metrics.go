@@ -31,16 +31,35 @@ type StageStat struct {
 	// Overlap is work this stage would have done that already ran in the
 	// background, overlapped with the previous epoch's commit.
 	Overlap time.Duration
+	// Capacity is the summed Duration×Workers over the samples this stat
+	// aggregates. Zero on a single-epoch sample (where Duration×Workers
+	// is the capacity); Summarize fills it so occupancy stays duration-
+	// weighted across epochs whose worker counts differ.
+	Capacity time.Duration
+}
+
+// capacitySpan returns the worker-capacity wall-clock this sample covers.
+func (s StageStat) capacitySpan() time.Duration {
+	if s.Capacity > 0 {
+		return s.Capacity
+	}
+	return s.Duration * time.Duration(s.Workers)
 }
 
 // Occupancy returns the fraction of the stage's worker capacity that was
-// busy: Busy / (Duration × Workers). 0 when the stage kept no busy span
-// (inline stages); values near 1 mean a balanced, saturated pool.
+// busy: Busy / (Duration × Workers) for a single-epoch sample, and
+// Busy / ΣᵢDurationᵢ×Workersᵢ for an aggregated one — each epoch's
+// occupancy weighted by its capacity, so epochs that ran longer or wider
+// count proportionally more (keeping max Workers across epochs, as
+// aggregation once did, overstated the denominator of narrow epochs and
+// understated busy pools). 0 when the stage kept no busy span (inline
+// stages); values near 1 mean a balanced, saturated pool.
 func (s StageStat) Occupancy() float64 {
-	if s.Duration <= 0 || s.Workers <= 0 || s.Busy <= 0 {
+	span := s.capacitySpan()
+	if span <= 0 || s.Busy <= 0 {
 		return 0
 	}
-	return float64(s.Busy) / (float64(s.Duration) * float64(s.Workers))
+	return float64(s.Busy) / float64(span)
 }
 
 // add accumulates another sample of the same stage.
@@ -52,6 +71,7 @@ func (s *StageStat) add(o StageStat) {
 	}
 	s.Busy += o.Busy
 	s.Overlap += o.Overlap
+	s.Capacity += o.capacitySpan()
 }
 
 // EpochStats records one processed epoch.
@@ -90,29 +110,90 @@ func (e EpochStats) AbortRate() float64 {
 	return float64(e.Aborted) / float64(total)
 }
 
-// Collector accumulates epoch statistics; safe for concurrent use.
+// Collector accumulates epoch statistics; safe for concurrent use. By
+// default it retains every recorded epoch; long-running nodes should set
+// a cap (SetCap) so retention is a ring buffer instead of an unbounded
+// append.
 type Collector struct {
 	mu     sync.Mutex
 	epochs []EpochStats
+	// cap > 0 bounds len(epochs); epochs is then a ring with start
+	// marking the oldest entry.
+	cap     int
+	start   int
+	dropped uint64
 }
 
-// NewCollector returns an empty collector.
+// NewCollector returns an empty, unbounded collector.
 func NewCollector() *Collector { return &Collector{} }
 
-// Record appends one epoch's stats.
+// SetCap bounds retention to the most recent n epochs (0 restores
+// unbounded retention). Epochs(), Summarize(), and the derived summary
+// metrics then cover only the retained window; Dropped() counts what has
+// been evicted. Shrinking the cap below the current count evicts the
+// oldest entries immediately.
+func (c *Collector) SetCap(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	if n > 0 && len(c.epochs) > n {
+		ordered := c.orderedLocked()
+		c.epochs = ordered[len(ordered)-n:]
+		c.dropped += uint64(len(ordered) - n)
+	} else if c.start > 0 {
+		c.epochs = c.orderedLocked()
+	}
+	c.start = 0
+	c.cap = n
+}
+
+// Record appends one epoch's stats, evicting the oldest retained epoch
+// when a cap is set and full.
 func (c *Collector) Record(s EpochStats) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.cap > 0 && len(c.epochs) >= c.cap {
+		c.epochs[c.start] = s
+		c.start = (c.start + 1) % len(c.epochs)
+		c.dropped++
+		return
+	}
 	c.epochs = append(c.epochs, s)
 }
 
-// Epochs returns a copy of all recorded stats.
+// Reset discards every retained epoch (the cap, if any, is kept) and
+// zeroes the dropped counter.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epochs = c.epochs[:0]
+	c.start = 0
+	c.dropped = 0
+}
+
+// Dropped reports how many epochs have been evicted by the ring cap
+// since the last Reset.
+func (c *Collector) Dropped() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// orderedLocked returns the retained epochs oldest-first.
+func (c *Collector) orderedLocked() []EpochStats {
+	out := make([]EpochStats, 0, len(c.epochs))
+	out = append(out, c.epochs[c.start:]...)
+	out = append(out, c.epochs[:c.start]...)
+	return out
+}
+
+// Epochs returns a copy of the retained stats, oldest first.
 func (c *Collector) Epochs() []EpochStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]EpochStats, len(c.epochs))
-	copy(out, c.epochs)
-	return out
+	return c.orderedLocked()
 }
 
 // Summary aggregates the recorded epochs.
@@ -129,7 +210,10 @@ type Summary struct {
 
 	ControlBreakdown types.PhaseBreakdown
 	// Stages aggregates per-stage samples by name, preserving first-seen
-	// stage order.
+	// stage order. Aggregated stats carry Capacity (the summed
+	// Duration×Workers of their samples), so Occupancy() is duration-
+	// weighted across epochs; Workers is the maximum seen and is
+	// informational only.
 	Stages []StageStat
 }
 
@@ -158,13 +242,14 @@ func (s Summary) EffectiveThroughput(window time.Duration) float64 {
 	return float64(s.Committed) / window.Seconds()
 }
 
-// Summarize aggregates all recorded epochs.
+// Summarize aggregates the retained epochs (all of them when no cap is
+// set; the most recent window otherwise).
 func (c *Collector) Summarize() Summary {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var s Summary
 	stageIdx := make(map[string]int)
-	for _, e := range c.epochs {
+	for _, e := range c.orderedLocked() {
 		s.Epochs++
 		s.Txs += e.Txs
 		s.Committed += e.Committed

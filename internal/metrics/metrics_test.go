@@ -64,6 +64,86 @@ func TestEffectiveThroughput(t *testing.T) {
 	}
 }
 
+// TestCollectorRing: with a cap set, Record evicts oldest-first, Epochs
+// stays ordered, Dropped counts evictions, and Reset clears the window.
+func TestCollectorRing(t *testing.T) {
+	c := NewCollector()
+	c.SetCap(3)
+	for i := 0; i < 5; i++ {
+		c.Record(EpochStats{Epoch: uint64(i), Txs: 1})
+	}
+	got := c.Epochs()
+	if len(got) != 3 || got[0].Epoch != 2 || got[1].Epoch != 3 || got[2].Epoch != 4 {
+		t.Fatalf("retained window = %+v", got)
+	}
+	if c.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", c.Dropped())
+	}
+	if sum := c.Summarize(); sum.Epochs != 3 || sum.Txs != 3 {
+		t.Fatalf("summary over window = %+v", sum)
+	}
+
+	// Shrinking the cap evicts immediately, keeping the newest.
+	c.SetCap(1)
+	if got := c.Epochs(); len(got) != 1 || got[0].Epoch != 4 {
+		t.Fatalf("after shrink: %+v", got)
+	}
+	if c.Dropped() != 4 {
+		t.Fatalf("dropped after shrink = %d, want 4", c.Dropped())
+	}
+
+	// Back to unbounded: the window grows again.
+	c.SetCap(0)
+	for i := 5; i < 8; i++ {
+		c.Record(EpochStats{Epoch: uint64(i)})
+	}
+	if got := c.Epochs(); len(got) != 4 || got[0].Epoch != 4 || got[3].Epoch != 7 {
+		t.Fatalf("after uncapping: %+v", got)
+	}
+
+	c.Reset()
+	if len(c.Epochs()) != 0 || c.Dropped() != 0 {
+		t.Fatal("reset did not clear the collector")
+	}
+	c.Record(EpochStats{Epoch: 99})
+	if got := c.Epochs(); len(got) != 1 || got[0].Epoch != 99 {
+		t.Fatalf("record after reset: %+v", got)
+	}
+}
+
+// TestOccupancyWeighted: aggregating stages whose worker counts differ
+// weights each epoch by its own Duration×Workers capacity. The old
+// max-workers denominator would report 300ms/(200ms×4) = 0.375 here; the
+// weighted form reports 300ms/500ms = 0.6.
+func TestOccupancyWeighted(t *testing.T) {
+	wide := StageStat{Name: "execute", Duration: 100 * time.Millisecond, Workers: 4, Busy: 200 * time.Millisecond}
+	if got := wide.Occupancy(); got != 0.5 {
+		t.Fatalf("single-sample occupancy = %v, want 0.5", got)
+	}
+	narrow := StageStat{Name: "execute", Duration: 100 * time.Millisecond, Workers: 1, Busy: 100 * time.Millisecond}
+	if got := narrow.Occupancy(); got != 1 {
+		t.Fatalf("single-sample occupancy = %v, want 1", got)
+	}
+
+	c := NewCollector()
+	c.Record(EpochStats{Epoch: 0, Stages: []StageStat{wide}})
+	c.Record(EpochStats{Epoch: 1, Stages: []StageStat{narrow}})
+	sum := c.Summarize()
+	if len(sum.Stages) != 1 {
+		t.Fatalf("stages = %+v", sum.Stages)
+	}
+	agg := sum.Stages[0]
+	if agg.Capacity != 500*time.Millisecond {
+		t.Fatalf("capacity = %v, want 500ms", agg.Capacity)
+	}
+	if got := agg.Occupancy(); got != 0.6 {
+		t.Fatalf("weighted occupancy = %v, want 0.6", got)
+	}
+	if agg.Workers != 4 {
+		t.Fatalf("max workers = %d, want 4", agg.Workers)
+	}
+}
+
 func TestCollectorConcurrent(t *testing.T) {
 	c := NewCollector()
 	var wg sync.WaitGroup

@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server exposes a registry over HTTP:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/healthz        liveness probe (200, "ok" + uptime)
+//	/debug/pprof/   the standard runtime profiles (CPU, heap, goroutine,
+//	                block, mutex, execution trace)
+//
+// It binds its own mux rather than http.DefaultServeMux so importing this
+// package never leaks debug handlers into an unrelated server.
+type Server struct {
+	srv     *http.Server
+	ln      net.Listener
+	started time.Time
+}
+
+// Handler returns an http.Handler serving the registry's exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// StartServer listens on addr (host:port; ":0" picks a free port) and
+// serves the registry in a background goroutine until Close.
+func StartServer(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, started: time.Now()}
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "ok\nuptime %s\n", time.Since(s.started).Round(time.Millisecond))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{Handler: mux}
+	go func() { _ = s.srv.Serve(ln) }() // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound address (resolving ":0" to the chosen port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server immediately; in-flight scrapes are cut off.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+// TestServerEndpoints: a server on a kernel-chosen port exposes the
+// registry exposition, the liveness probe, and the pprof index.
+func TestServerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("smoke_total", "Smoke series.", Label{Name: "node", Value: "t"}).Add(3)
+	srv, err := StartServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body, hdr := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content-type %q", ct)
+	}
+	if !strings.Contains(body, `smoke_total{node="t"} 3`) {
+		t.Fatalf("/metrics missing series:\n%s", body)
+	}
+
+	code, body, _ = get(t, base+"/healthz")
+	if code != http.StatusOK || !strings.HasPrefix(body, "ok\n") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body, _ = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+	code, _, _ = get(t, base+"/debug/pprof/heap")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/heap = %d", code)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("server still reachable after Close")
+	}
+}
+
+// TestServerBadAddr: an unbindable address surfaces as an error, not a
+// background panic.
+func TestServerBadAddr(t *testing.T) {
+	if _, err := StartServer("256.0.0.1:0", NewRegistry()); err == nil {
+		t.Fatal("no error for unbindable address")
+	}
+}

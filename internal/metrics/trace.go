@@ -1,0 +1,145 @@
+package metrics
+
+// Epoch tracing in the Chrome trace-event format ("trace event format",
+// the JSON Perfetto and chrome://tracing load). Each pipeline stage of
+// each epoch becomes one complete ("X") event; tracks (the viewer's
+// rows) separate the critical path from background work, so the
+// cross-epoch prevalidation overlap is visible as a span running under
+// the previous epoch's commit — the picture DESIGN.md §8.3 describes.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// traceEvent is one complete event in the trace-event JSON schema.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`  // microseconds since trace zero
+	Dur  float64        `json:"dur"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Tracer accumulates spans; safe for concurrent use. The zero Tracer is
+// not usable — construct with NewTracer. A nil *Tracer is a valid no-op
+// receiver for Span, so instrumented code can record unconditionally.
+type Tracer struct {
+	mu     sync.Mutex
+	zero   time.Time
+	tracks map[string]int
+	order  []string
+	events []traceEvent
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{tracks: make(map[string]int)}
+}
+
+// Span records one completed span on the named track. The first span
+// anchors the trace's zero time; spans that started before it (e.g. a
+// background prevalidation that predates the first traced stage) are
+// clamped to zero so timestamps stay non-negative, as the viewers expect.
+// Nil-receiver safe.
+func (t *Tracer) Span(track, name string, start time.Time, d time.Duration, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.zero.IsZero() || start.Before(t.zero) {
+		base := start
+		// Shift already-recorded events forward so they stay relative to
+		// the new, earlier zero.
+		if !t.zero.IsZero() {
+			delta := float64(t.zero.Sub(base)) / float64(time.Microsecond)
+			for i := range t.events {
+				t.events[i].TS += delta
+			}
+		}
+		t.zero = base
+	}
+	tid, ok := t.tracks[track]
+	if !ok {
+		tid = len(t.order)
+		t.tracks[track] = tid
+		t.order = append(t.order, track)
+	}
+	t.events = append(t.events, traceEvent{
+		Name: name,
+		Ph:   "X",
+		TS:   float64(start.Sub(t.zero)) / float64(time.Microsecond),
+		Dur:  float64(d) / float64(time.Microsecond),
+		PID:  1,
+		TID:  tid,
+		Args: args,
+	})
+}
+
+// Len returns the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Export emits the trace as a JSON object with a traceEvents array —
+// the container format every trace viewer accepts. Events are sorted by
+// timestamp; each track gets a thread_name metadata event so viewers
+// label rows with the track names instead of bare tids.
+func (t *Tracer) Export(w io.Writer) error {
+	t.mu.Lock()
+	events := make([]traceEvent, len(t.events))
+	copy(events, t.events)
+	order := append([]string(nil), t.order...)
+	t.mu.Unlock()
+
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+
+	type metaEvent struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	}
+	out := struct {
+		TraceEvents     []any  `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}{DisplayTimeUnit: "ms"}
+	for tid, track := range order {
+		out.TraceEvents = append(out.TraceEvents, metaEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Args: map[string]any{"name": track},
+		})
+	}
+	for _, e := range events {
+		out.TraceEvents = append(out.TraceEvents, e)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteFile writes the trace to path, creating or truncating it.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics: create trace file: %w", err)
+	}
+	if err := t.Export(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// exportedTrace mirrors the JSON container the viewers load.
+type exportedTrace struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func exportTrace(t *testing.T, tr *Tracer) exportedTrace {
+	t.Helper()
+	var b strings.Builder
+	if err := tr.Export(&b); err != nil {
+		t.Fatal(err)
+	}
+	var out exportedTrace
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v\n%s", err, b.String())
+	}
+	return out
+}
+
+// TestTracerExport: spans land on named tracks, timestamps are relative
+// to the earliest span and sorted, and args survive the round trip.
+func TestTracerExport(t *testing.T) {
+	tr := NewTracer()
+	t0 := time.Now()
+	tr.Span("node", "validate", t0, 2*time.Millisecond, map[string]any{"epoch": 1})
+	tr.Span("node", "execute", t0.Add(2*time.Millisecond), 3*time.Millisecond, nil)
+	tr.Span("node/background", "prevalidate", t0.Add(time.Millisecond), time.Millisecond, nil)
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d, want 3", tr.Len())
+	}
+
+	out := exportTrace(t, tr)
+	if out.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+	var names []string
+	tracks := map[int]string{}
+	lastTS := -1.0
+	for _, e := range out.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name != "thread_name" {
+				t.Fatalf("metadata event %q", e.Name)
+			}
+			tracks[e.TID] = e.Args["name"].(string)
+		case "X":
+			names = append(names, e.Name)
+			if e.TS < 0 || e.Dur < 0 {
+				t.Fatalf("negative ts/dur on %q: %v/%v", e.Name, e.TS, e.Dur)
+			}
+			if e.TS < lastTS {
+				t.Fatalf("events not sorted by ts: %q at %v after %v", e.Name, e.TS, lastTS)
+			}
+			lastTS = e.TS
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if len(names) != 3 || names[0] != "validate" || names[1] != "prevalidate" || names[2] != "execute" {
+		t.Fatalf("span order = %v", names)
+	}
+	if tracks[0] != "node" || tracks[1] != "node/background" {
+		t.Fatalf("tracks = %v", tracks)
+	}
+	// The first span anchors zero.
+	if out.TraceEvents[2].TS != 0 {
+		t.Fatalf("first span ts = %v, want 0", out.TraceEvents[2].TS)
+	}
+	if got := out.TraceEvents[2].Args["epoch"].(float64); got != 1 {
+		t.Fatalf("args epoch = %v", got)
+	}
+}
+
+// TestTracerEarlierSpanRebases: a span that started before the current
+// zero (a background pass kicked before the first traced stage) rebases
+// the whole trace so timestamps stay non-negative.
+func TestTracerEarlierSpanRebases(t *testing.T) {
+	tr := NewTracer()
+	t0 := time.Now()
+	tr.Span("main", "commit", t0.Add(10*time.Millisecond), time.Millisecond, nil)
+	tr.Span("bg", "prevalidate", t0, 5*time.Millisecond, nil)
+
+	out := exportTrace(t, tr)
+	var pre, commit float64 = -1, -1
+	for _, e := range out.TraceEvents {
+		switch e.Name {
+		case "prevalidate":
+			pre = e.TS
+		case "commit":
+			commit = e.TS
+		}
+	}
+	if pre != 0 {
+		t.Fatalf("earlier span ts = %v, want 0", pre)
+	}
+	if commit != 10_000 { // 10 ms in µs
+		t.Fatalf("rebased span ts = %v, want 10000", commit)
+	}
+}
+
+// TestTracerNil: a nil tracer is a no-op recorder, so instrumented code
+// needs no guards.
+func TestTracerNil(t *testing.T) {
+	var tr *Tracer
+	tr.Span("x", "y", time.Now(), time.Second, nil)
+	if tr.Len() != 0 {
+		t.Fatal("nil tracer recorded a span")
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tr.Span("t", "s", t0.Add(time.Duration(w*50+i)*time.Microsecond), time.Microsecond, nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 400 {
+		t.Fatalf("len = %d, want 400", tr.Len())
+	}
+	exportTrace(t, tr) // must still be valid JSON with sorted events
+}
+
+func TestTracerWriteFile(t *testing.T) {
+	tr := NewTracer()
+	tr.Span("a", "b", time.Now(), time.Millisecond, nil)
+	path := t.TempDir() + "/trace.json"
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var out exportedTrace
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("trace file not valid JSON: %v", err)
+	}
+	if len(out.TraceEvents) != 2 { // one metadata + one span
+		t.Fatalf("events = %d, want 2", len(out.TraceEvents))
+	}
+}

@@ -77,6 +77,11 @@ type Config struct {
 	// reopen — the restart durability a real full node has. Off by
 	// default (benchmarks measure the paper's phases, which exclude it).
 	Persist bool
+	// RetainEpochStats caps how many per-epoch stat records the node's
+	// Collector keeps (a ring of the most recent); 0 retains everything,
+	// which long-running nodes should avoid. Live /metrics series are
+	// unaffected — only the detailed Collector window shrinks.
+	RetainEpochStats int
 }
 
 // Node is one full node. Public methods are safe for concurrent use.
@@ -100,6 +105,9 @@ type Node struct {
 	// preval is the in-flight background signature prevalidation, if any
 	// (see pipeline.go).
 	preval *prevalidation
+	// tracer, when set, records per-stage spans for Chrome trace-event
+	// export (see telemetry.go). Nil means no tracing.
+	tracer *metrics.Tracer
 }
 
 // parallelism resolves cfg.Parallelism (0 means Workers).
@@ -130,6 +138,7 @@ func New(id string, store kvstore.Store, cfg Config) (*Node, error) {
 		coll:      metrics.NewCollector(),
 		nextEpoch: 1,
 	}
+	n.coll.SetCap(cfg.RetainEpochStats)
 	if cfg.Persist {
 		restored, err := n.restoreFromStore()
 		if err != nil {
@@ -321,6 +330,7 @@ func (n *Node) processBlocksLocked(e uint64, blocks []*types.Block) (*EpochResul
 	stats.Committed = er.sched.CommittedCount()
 	er.res.Stats = stats
 	n.coll.Record(stats)
+	n.recordEpochMetrics(&stats, len(er.res.Discarded))
 	return er.res, nil
 }
 

@@ -80,6 +80,13 @@ func (n *Node) runStages(er *epochRun, stages []stage) error {
 		}
 		ss.Duration = time.Since(start)
 		er.stats.Stages = append(er.stats.Stages, ss)
+		n.recordStageMetrics(st.name, ss)
+		n.tracer.Span(n.id, st.name, start, ss.Duration, map[string]any{
+			"epoch":     er.number,
+			"tasks":     ss.Tasks,
+			"workers":   ss.Workers,
+			"occupancy": ss.Occupancy(),
+		})
 
 		switch st.name {
 		case "validate":
@@ -112,6 +119,8 @@ func (n *Node) validateStage(er *epochRun, ss *metrics.StageStat) error {
 		// Time the background pass spent under the previous commit —
 		// latency this epoch did not pay.
 		ss.Overlap = pv.elapsed
+		n.tracer.Span(n.id+"/background", "prevalidate", pv.started, pv.elapsed,
+			map[string]any{"epoch": er.number, "blocks": len(pv.ok)})
 	}
 	valid := er.blocks[:0]
 	for _, b := range er.blocks {
@@ -260,6 +269,7 @@ type prevalidation struct {
 	epoch   uint64
 	done    chan struct{}
 	ok      map[types.Hash]bool
+	started time.Time
 	elapsed time.Duration
 }
 
@@ -295,11 +305,11 @@ func (n *Node) kickPrevalidation(e uint64) {
 	n.preval = pv
 	workers := n.parallelism()
 	go func() {
-		start := time.Now()
+		pv.started = time.Now()
 		for _, b := range blocks {
 			pv.ok[b.Hash()] = n.checkSignatures(b, workers)
 		}
-		pv.elapsed = time.Since(start)
+		pv.elapsed = time.Since(pv.started)
 		close(pv.done)
 	}()
 }

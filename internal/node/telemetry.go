@@ -1,0 +1,70 @@
+package node
+
+// Live-telemetry hooks: every processed epoch updates the process-wide
+// metrics registry (metrics.Default()) so a running node can be scraped
+// over /metrics while the per-epoch Collector keeps the detailed record
+// the benches read. Series carry a node label because simulations run
+// several nodes in one process; a production deployment has one.
+
+import (
+	"time"
+
+	"github.com/nezha-dag/nezha/internal/metrics"
+)
+
+// recordStageMetrics exports one stage's counters after it ran.
+func (n *Node) recordStageMetrics(stage string, ss metrics.StageStat) {
+	reg := metrics.Default()
+	nl := metrics.Label{Name: "node", Value: n.id}
+	sl := metrics.Label{Name: "stage", Value: stage}
+	reg.Histogram("nezha_stage_duration_seconds",
+		"Wall-clock duration of each pipeline stage (Fig. 2(b) phases).",
+		nil, nl, sl).ObserveDuration(ss.Duration)
+	reg.Counter("nezha_stage_tasks_total",
+		"Work items processed per stage (blocks, transactions, commits).",
+		nl, sl).Add(float64(ss.Tasks))
+	reg.Counter("nezha_stage_busy_seconds_total",
+		"Summed per-worker busy span per stage; divide by capacity for occupancy.",
+		nl, sl).Add(ss.Busy.Seconds())
+	reg.Counter("nezha_stage_capacity_seconds_total",
+		"Summed duration*workers per stage (the occupancy denominator).",
+		nl, sl).Add((ss.Duration * time.Duration(ss.Workers)).Seconds())
+	reg.Counter("nezha_stage_overlap_seconds_total",
+		"Stage work that ran hidden under the previous epoch's commit.",
+		nl, sl).Add(ss.Overlap.Seconds())
+	reg.Gauge("nezha_stage_occupancy",
+		"Worker-pool occupancy of the stage in the last processed epoch.",
+		nl, sl).Set(ss.Occupancy())
+}
+
+// recordEpochMetrics exports epoch-level counters after the epoch
+// committed. Called with n.mu held.
+func (n *Node) recordEpochMetrics(stats *metrics.EpochStats, discarded int) {
+	reg := metrics.Default()
+	nl := metrics.Label{Name: "node", Value: n.id}
+	reg.Counter("nezha_epochs_processed_total",
+		"Epochs fully processed (validate through commit).", nl).Inc()
+	reg.Counter("nezha_txs_total",
+		"Transactions entering the pipeline after block validation.", nl).Add(float64(stats.Txs))
+	reg.Counter("nezha_txs_committed_total",
+		"Transactions committed by concurrency control (Fig. 12 numerator).", nl).Add(float64(stats.Committed))
+	reg.Counter("nezha_txs_aborted_total",
+		"Transactions aborted by the scheduler (Fig. 11 numerator).", nl).Add(float64(stats.Aborted))
+	reg.Counter("nezha_txs_execution_failed_total",
+		"Speculative executions that failed (revert/out-of-gas).", nl).Add(float64(stats.ExecutionFailed))
+	reg.Counter("nezha_blocks_discarded_total",
+		"Blocks dropped by validation (bad state root or signature).", nl).Add(float64(discarded))
+	reg.Gauge("nezha_node_next_epoch",
+		"Next epoch number the node will process.", nl).Set(float64(stats.Epoch + 1))
+	reg.Gauge("nezha_epoch_block_concurrency",
+		"Blocks forming the last processed epoch (the paper's omega).", nl).Set(float64(stats.BlockConcurrency))
+}
+
+// SetTracer attaches an epoch tracer: every subsequent stage records a
+// span (and the background prevalidation its overlap span), exportable
+// as Chrome trace-event JSON. Pass nil to stop tracing.
+func (n *Node) SetTracer(t *metrics.Tracer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.tracer = t
+}

@@ -13,8 +13,31 @@ import (
 	"sync"
 	"time"
 
+	"github.com/nezha-dag/nezha/internal/metrics"
 	"github.com/nezha-dag/nezha/internal/types"
 )
+
+// msgDropped returns the drop counter for one (message type, reason)
+// pair; reasons are "loss" (simulated wire loss) and "queue_full" (a
+// saturated inbox).
+func msgDropped(t MsgType, reason string) *metrics.Counter {
+	return metrics.Default().Counter("nezha_p2p_msgs_dropped_total",
+		"Messages dropped in flight, by type and reason.",
+		metrics.Label{Name: "type", Value: t.String()},
+		metrics.Label{Name: "reason", Value: reason})
+}
+
+func msgSent(t MsgType) *metrics.Counter {
+	return metrics.Default().Counter("nezha_p2p_msgs_sent_total",
+		"Per-recipient message deliveries attempted.",
+		metrics.Label{Name: "type", Value: t.String()})
+}
+
+func msgDelivered(t MsgType) *metrics.Counter {
+	return metrics.Default().Counter("nezha_p2p_msgs_delivered_total",
+		"Messages enqueued into a recipient inbox.",
+		metrics.Label{Name: "type", Value: t.String()})
+}
 
 // MsgType discriminates network messages.
 type MsgType int
@@ -32,6 +55,22 @@ const (
 	// parent-before-child order.
 	MsgBlocks
 )
+
+// String implements fmt.Stringer (also the metrics type label).
+func (t MsgType) String() string {
+	switch t {
+	case MsgBlock:
+		return "block"
+	case MsgTxs:
+		return "txs"
+	case MsgGetBlocks:
+		return "get_blocks"
+	case MsgBlocks:
+		return "blocks"
+	default:
+		return fmt.Sprintf("type_%d", int(t))
+	}
+}
 
 // Message is one network datagram.
 type Message struct {
@@ -173,7 +212,9 @@ func (e *Endpoint) Send(to string, msg Message) {
 }
 
 func (n *Network) deliverLocked(to *Endpoint, msg Message) {
+	msgSent(msg.Type).Inc()
 	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+		msgDropped(msg.Type, "loss").Inc()
 		return
 	}
 	delay := n.cfg.Latency
@@ -190,7 +231,9 @@ func (n *Network) deliverLocked(to *Endpoint, msg Message) {
 		// saturated socket buffer.
 		select {
 		case to.inbox <- msg:
+			msgDelivered(msg.Type).Inc()
 		default:
+			msgDropped(msg.Type, "queue_full").Inc()
 		}
 	}()
 }

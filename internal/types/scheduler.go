@@ -28,6 +28,11 @@ type PhaseBreakdown struct {
 	// sequential grain that bounds sort-phase speedup (one giant cluster
 	// means the sorting of a contended epoch cannot parallelize).
 	MaxClusterAddrs int
+	// Rescued counts transactions the reordering enhancement (§IV-D)
+	// re-sequenced above their conflicts instead of aborting — each one
+	// is an abort the enhanced design avoided (the Fig. 11 gap between
+	// Nezha and Nezha-without-reordering).
+	Rescued int
 }
 
 // Total returns the sum of all sub-phases.
@@ -47,6 +52,7 @@ func (p *PhaseBreakdown) Add(o PhaseBreakdown) {
 	if o.MaxClusterAddrs > p.MaxClusterAddrs {
 		p.MaxClusterAddrs = o.MaxClusterAddrs
 	}
+	p.Rescued += o.Rescued
 }
 
 // Scheduler is a concurrency-control scheme: it turns the speculative
