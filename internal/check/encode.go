@@ -1,0 +1,88 @@
+package check
+
+import (
+	"github.com/nezha-dag/nezha/internal/types"
+)
+
+// The byte-program epoch codec: FuzzSchedule and FuzzRankDivision decode an
+// arbitrary fuzz input into a bounded, valid epoch through EpochFromBytes,
+// and the corpus generator (`nezha-check corpus`) produces seed inputs with
+// AppendTx. Keeping both halves here guarantees the corpus speaks exactly
+// the dialect the fuzz targets parse.
+//
+// Layout: byte 0 picks the key-space size (1–16 keys; every key whose index
+// ≡ 4 (mod 5) is absent from the snapshot, so its reads observe nil). Each
+// transaction is then a header byte h — low two bits: read count, next two
+// bits: write count — followed by one key-index byte per unit. Decoding is
+// total: any byte string yields a valid epoch, truncated units are dropped,
+// and epochs are capped at 512 transactions.
+
+// epochMaxTxs bounds decoded epochs; fuzz inputs past the cap are truncated
+// rather than rejected so big inputs still explore big-epoch behavior
+// (above the scheduler's 128-tx parallel threshold) without unbounded cost.
+const epochMaxTxs = 512
+
+// EpochFromBytes deterministically decodes data into a snapshot and
+// simulation results with dense epoch-local ids. Returns an empty epoch for
+// empty input.
+func EpochFromBytes(data []byte) (map[types.Key][]byte, []*types.SimResult) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	nKeys := 1 + int(data[0]%16)
+	data = data[1:]
+
+	keys := make([]types.Key, nKeys)
+	snapshot := make(map[types.Key][]byte, nKeys)
+	for i := range keys {
+		keys[i] = types.KeyFromUint64(uint64(i))
+		if i%5 != 4 {
+			snapshot[keys[i]] = []byte{0xA0, byte(i)}
+		}
+	}
+
+	var sims []*types.SimResult
+	pos := 0
+	for pos < len(data) && len(sims) < epochMaxTxs {
+		h := data[pos]
+		pos++
+		nr := int(h & 3)
+		nw := int((h >> 2) & 3)
+		var readIdx, writeIdx []int
+		for u := 0; u < nr && pos < len(data); u++ {
+			readIdx = append(readIdx, int(data[pos])%nKeys)
+			pos++
+		}
+		for u := 0; u < nw && pos < len(data); u++ {
+			writeIdx = append(writeIdx, int(data[pos])%nKeys)
+			pos++
+		}
+		id := types.TxID(len(sims))
+		sim := &types.SimResult{Tx: &types.Transaction{ID: id, Nonce: uint64(id)}}
+		for _, k := range dedupByKey(keys, readIdx) {
+			sim.Reads = append(sim.Reads, types.ReadEntry{Key: keys[k], Value: snapshot[keys[k]]})
+		}
+		for _, k := range dedupByKey(keys, writeIdx) {
+			sim.Writes = append(sim.Writes, types.WriteEntry{Key: keys[k], Value: []byte{h, byte(k), byte(id)}})
+		}
+		sims = append(sims, sim)
+	}
+	return snapshot, sims
+}
+
+// AppendTx appends one transaction's encoding to dst. At most three reads
+// and three writes survive (the header holds two bits per count); excess
+// keys are dropped, matching what the decoder would do.
+func AppendTx(dst []byte, readKeys, writeKeys []byte) []byte {
+	if len(readKeys) > 3 {
+		readKeys = readKeys[:3]
+	}
+	if len(writeKeys) > 3 {
+		writeKeys = writeKeys[:3]
+	}
+	h := byte(len(readKeys)) | byte(len(writeKeys))<<2
+	dst = append(dst, h)
+	dst = append(dst, readKeys...)
+	dst = append(dst, writeKeys...)
+	return dst
+}

@@ -1,0 +1,42 @@
+package core
+
+// Fault selects one deliberately mis-implemented scheduler rule. It exists
+// for exactly one consumer: the differential harness's meta-tests
+// (internal/check), which must prove that the serializability oracle
+// actually detects real scheduler bugs — a harness that never fires is
+// worse than none. Production code paths always leave Config.InjectFault at
+// FaultNone; NewScheduler rejects unknown values like any other bad config.
+type Fault int
+
+const (
+	// FaultNone disables fault injection — the production value.
+	FaultNone Fault = iota
+	// FaultFlipRescue flips the §IV-D reordering comparison: instead of
+	// lifting the rescued transaction strictly above the MAXIMUM of the
+	// read ceiling and the numbers already assigned on its write
+	// addresses, the sorter computes the new number from the MINIMUM of
+	// the two — re-sequencing the transaction at or below units it
+	// conflicts with. With the safety sweep disabled this leaks
+	// write-write collisions and write-below-read anomalies into the
+	// schedule, which VerifySchedule must reject.
+	FaultFlipRescue
+	// FaultDropStatelessSeq drops the sorter's finish pass, leaving every
+	// stateless transaction (empty read and write sets) at the reserved
+	// sequence number 0 — the "unassigned" sentinel VerifySchedule's
+	// structural check must flag.
+	FaultDropStatelessSeq
+)
+
+// String implements fmt.Stringer.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultFlipRescue:
+		return "flip-rescue"
+	case FaultDropStatelessSeq:
+		return "drop-stateless-seq"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,90 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/nezha-dag/nezha/internal/check"
+	"github.com/nezha-dag/nezha/internal/core"
+	"github.com/nezha-dag/nezha/internal/types"
+)
+
+// Fuzz inputs decode into epochs through check.EpochFromBytes — the byte
+// dialect documented in internal/check/encode.go, shared with the checked-in
+// corpus under testdata/fuzz/ (regenerate with `nezha-check corpus`).
+
+// FuzzSchedule drives arbitrary byte-derived epochs through the scheduler
+// and asserts the two load-bearing contracts on every input: parallelism
+// never changes the schedule, and every schedule passes the serial-replay
+// oracle. Both rank heuristics are exercised.
+func FuzzSchedule(f *testing.F) {
+	f.Add([]byte{3, 0x05, 1, 2, 0x0C, 3, 4})
+	f.Add([]byte{15, 0x0F, 0, 0, 1, 1, 0x0F, 1, 1, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snapshot, sims := check.EpochFromBytes(data)
+		if len(sims) == 0 {
+			return
+		}
+		for _, heur := range []core.RankHeuristic{core.RankMaxOutDegree, core.RankMinSubscript} {
+			var ref *types.Schedule
+			for _, par := range []int{1, 4} {
+				sch, err := core.NewScheduler(core.Config{Reorder: true, Heuristic: heur, Parallelism: par})
+				if err != nil {
+					t.Fatal(err)
+				}
+				out, _, err := sch.Schedule(sims)
+				if err != nil {
+					t.Fatalf("heur=%d par=%d: %v", heur, par, err)
+				}
+				if ref == nil {
+					ref = out
+				} else if !ref.Equal(out) {
+					t.Fatalf("heur=%d: schedule differs between parallelism 1 and %d", heur, par)
+				}
+			}
+			if err := core.VerifySchedule(snapshot, sims, ref); err != nil {
+				t.Fatalf("heur=%d: oracle: %v", heur, err)
+			}
+		}
+	})
+}
+
+// FuzzRankDivision targets Algorithm 1 in isolation: on any byte-derived
+// epoch, sorting-rank division must emit a permutation of the address
+// vertices, deterministically, and identically for the sequential and
+// sharded ACG builders.
+func FuzzRankDivision(f *testing.F) {
+	f.Add([]byte{7, 0x05, 0, 1, 0x05, 1, 2, 0x05, 2, 0})
+	f.Add([]byte{1, 0x0F, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, sims := check.EpochFromBytes(data)
+		if len(sims) == 0 {
+			return
+		}
+		acg := core.BuildACG(sims)
+		for _, heur := range []core.RankHeuristic{core.RankMaxOutDegree, core.RankMinSubscript} {
+			ranks := core.RankAddresses(acg, heur)
+			if len(ranks) != acg.NumAddresses() {
+				t.Fatalf("heur=%d: %d ranks for %d addresses", heur, len(ranks), acg.NumAddresses())
+			}
+			seen := make([]bool, len(ranks))
+			for _, v := range ranks {
+				if v < 0 || v >= len(seen) || seen[v] {
+					t.Fatalf("heur=%d: ranks are not a permutation: %v", heur, ranks)
+				}
+				seen[v] = true
+			}
+			again := core.RankAddresses(acg, heur)
+			for i := range ranks {
+				if ranks[i] != again[i] {
+					t.Fatalf("heur=%d: rank division is nondeterministic at %d", heur, i)
+				}
+			}
+			sharded := core.RankAddresses(core.BuildACGSharded(sims, 4), heur)
+			for i := range ranks {
+				if ranks[i] != sharded[i] {
+					t.Fatalf("heur=%d: sharded ACG ranks diverge at %d", heur, i)
+				}
+			}
+		}
+	})
+}

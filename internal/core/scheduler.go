@@ -47,6 +47,11 @@ type Config struct {
 	// knob trades goroutine overhead against multi-core speedup, never
 	// determinism (the cross-implementation tests assert exactly that).
 	Parallelism int
+	// InjectFault deliberately breaks one scheduler rule (see Fault).
+	// Only the differential harness's meta-tests set it, to prove the
+	// serializability oracle has teeth; leave it at FaultNone everywhere
+	// else.
+	InjectFault Fault
 }
 
 // DefaultConfig returns the configuration evaluated in the paper:
@@ -79,6 +84,11 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 	}
 	if cfg.Parallelism < 0 {
 		return nil, fmt.Errorf("core: negative parallelism %d", cfg.Parallelism)
+	}
+	switch cfg.InjectFault {
+	case FaultNone, FaultFlipRescue, FaultDropStatelessSeq:
+	default:
+		return nil, fmt.Errorf("core: unknown injected fault %d", cfg.InjectFault)
 	}
 	return &Scheduler{cfg: cfg}, nil
 }
@@ -138,7 +148,7 @@ func (n *Scheduler) Schedule(sims []*types.SimResult) (*types.Schedule, types.Ph
 	pb.Cycle = time.Since(start)
 
 	start = time.Now()
-	srt := newSorter(acg, n.cfg.Reorder)
+	srt := newSorter(acg, n.cfg.Reorder, n.cfg.InjectFault)
 	if par > 1 {
 		clusters := conflictClusters(acg, ranks)
 		pb.SortClusters = len(clusters)

@@ -22,6 +22,9 @@ const initialSeq types.Seq = 1
 type sorter struct {
 	acg     *ACG
 	reorder bool
+	// fault is the deliberately injected scheduler bug (FaultNone in
+	// production); see fault.go for why the sorter carries it.
+	fault Fault
 
 	// seqOf[id] is the sequence number of transaction id. Invariant: 0
 	// means "not yet sorted" while the per-address passes are running;
@@ -44,10 +47,11 @@ type sorter struct {
 	rescued atomic.Int64
 }
 
-func newSorter(acg *ACG, reorder bool) *sorter {
+func newSorter(acg *ACG, reorder bool, fault Fault) *sorter {
 	return &sorter{
 		acg:         acg,
 		reorder:     reorder,
+		fault:       fault,
 		seqOf:       make([]types.Seq, len(acg.sims)),
 		aborted:     make([]bool, len(acg.sims)),
 		used:        make([]map[types.Seq]bool, len(acg.Addrs)),
@@ -138,6 +142,9 @@ func (s *sorter) runParallel(clusters [][]int, workers int) {
 // the first group. After finish, the seqOf invariant holds: every
 // non-aborted transaction has a nonzero sequence number.
 func (s *sorter) finish() {
+	if s.fault == FaultDropStatelessSeq {
+		return // injected bug: leak the seq-0 sentinel for stateless txs
+	}
 	for id, sim := range s.acg.sims {
 		if sim == nil || s.aborted[id] || s.seqOf[id] != 0 {
 			continue
@@ -265,7 +272,14 @@ func (s *sorter) sortAddress(j int) {
 					top = m
 				}
 			}
-			if maxRead > top {
+			if s.fault == FaultFlipRescue {
+				// Injected bug: the §IV-D comparison flipped — take the
+				// smaller of the two ceilings, landing the rescued tx at
+				// or below units it conflicts with.
+				if maxRead < top {
+					top = maxRead
+				}
+			} else if maxRead > top {
 				top = maxRead
 			}
 			s.assign(id, top+1)

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"sort"
 
 	"github.com/nezha-dag/nezha/internal/types"
 )
@@ -31,14 +32,25 @@ func VerifySchedule(snapshot map[types.Key][]byte, sims []*types.SimResult, sche
 		byID[sim.Tx.ID] = sim
 	}
 
+	// Every pass below iterates committed transactions in ascending id
+	// order (and addresses in key order), never in map order: the first
+	// violation reported for a given broken schedule is deterministic, so
+	// a failure seed from the differential harness replays to the
+	// byte-identical error message.
+	committed := make([]types.TxID, 0, len(sched.Seqs))
+	for id := range sched.Seqs {
+		committed = append(committed, id)
+	}
+	sort.Slice(committed, func(i, j int) bool { return committed[i] < committed[j] })
+
 	// Check 1: structural soundness.
 	for _, a := range sched.Aborted {
 		if sched.IsCommitted(a.ID) {
 			return fmt.Errorf("core: tx %d both committed and aborted", a.ID)
 		}
 	}
-	for id, seq := range sched.Seqs {
-		if seq == 0 {
+	for _, id := range committed {
+		if sched.Seqs[id] == 0 {
 			return fmt.Errorf("core: committed tx %d has zero sequence number", id)
 		}
 		if byID[id] == nil {
@@ -47,45 +59,60 @@ func VerifySchedule(snapshot map[types.Key][]byte, sims []*types.SimResult, sche
 	}
 
 	// Check 2: per-address invariants.
+	type unit struct {
+		id  types.TxID
+		seq types.Seq
+	}
 	type addrState struct {
-		writeSeqs map[types.Seq]types.TxID
-		reads     []struct {
-			id  types.TxID
-			seq types.Seq
-		}
+		writes []unit
+		reads  []unit
 	}
 	addrs := make(map[types.Key]*addrState)
+	var addrKeys []types.Key
 	stateOf := func(k types.Key) *addrState {
 		st := addrs[k]
 		if st == nil {
-			st = &addrState{writeSeqs: make(map[types.Seq]types.TxID)}
+			st = &addrState{}
 			addrs[k] = st
+			addrKeys = append(addrKeys, k)
 		}
 		return st
 	}
-	for id, seq := range sched.Seqs {
+	for _, id := range committed {
+		seq := sched.Seqs[id]
 		sim := byID[id]
 		for _, r := range sim.Reads {
 			st := stateOf(r.Key)
-			st.reads = append(st.reads, struct {
-				id  types.TxID
-				seq types.Seq
-			}{id, seq})
+			st.reads = append(st.reads, unit{id, seq})
 		}
 		for _, w := range sim.Writes {
 			st := stateOf(w.Key)
-			if prev, dup := st.writeSeqs[seq]; dup {
-				return fmt.Errorf("core: txs %d and %d both write %s at seq %d", prev, id, w.Key, seq)
-			}
-			st.writeSeqs[seq] = id
+			st.writes = append(st.writes, unit{id, seq})
 		}
 	}
-	for k, st := range addrs {
-		for wseq, wid := range st.writeSeqs {
+	sort.Slice(addrKeys, func(i, j int) bool { return addrKeys[i].Less(addrKeys[j]) })
+	for _, k := range addrKeys {
+		st := addrs[k]
+		// Units arrive in ascending id order; re-sort writes by (seq, id)
+		// so an equal-seq collision is adjacent and reported on the
+		// lowest-numbered pair.
+		sort.Slice(st.writes, func(i, j int) bool {
+			if st.writes[i].seq != st.writes[j].seq {
+				return st.writes[i].seq < st.writes[j].seq
+			}
+			return st.writes[i].id < st.writes[j].id
+		})
+		for i := 1; i < len(st.writes); i++ {
+			if st.writes[i].seq == st.writes[i-1].seq {
+				return fmt.Errorf("core: txs %d and %d both write %s at seq %d",
+					st.writes[i-1].id, st.writes[i].id, k, st.writes[i].seq)
+			}
+		}
+		for _, w := range st.writes {
 			for _, r := range st.reads {
-				if r.id != wid && wseq <= r.seq {
+				if r.id != w.id && w.seq <= r.seq {
 					return fmt.Errorf("core: write of tx %d (seq %d) does not follow read of tx %d (seq %d) on %s",
-						wid, wseq, r.id, r.seq, k)
+						w.id, w.seq, r.id, r.seq, k)
 				}
 			}
 		}

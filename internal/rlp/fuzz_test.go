@@ -1,0 +1,56 @@
+package rlp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// itemEq compares two Items structurally, treating nil and empty as the
+// same byte string / list (the decoder is free to return either).
+func itemEq(a, b Item) bool {
+	if a.K != b.K {
+		return false
+	}
+	if a.K == KindString {
+		return bytes.Equal(a.Str, b.Str)
+	}
+	if len(a.List) != len(b.List) {
+		return false
+	}
+	for i := range a.List {
+		if !itemEq(a.List[i], b.List[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzRLP feeds arbitrary bytes to the decoder; every input it accepts must
+// round-trip: re-encoding yields bytes the decoder maps back to the same
+// value, and re-encoding is a fixed point (the encoder is canonical). The
+// MPT hashes node encodings, so any drift here silently forks state roots.
+func FuzzRLP(f *testing.F) {
+	f.Add([]byte{0x80})                                   // empty string
+	f.Add([]byte{0xc0})                                   // empty list
+	f.Add([]byte{0x83, 'd', 'o', 'g'})                    // short string
+	f.Add([]byte{0xc4, 0x83, 'c', 'a', 't'})              // nested
+	f.Add(Encode(List(Uint(1), String(nil), List())))     // canonical builder output
+	f.Add(Encode(String(bytes.Repeat([]byte{0x7f}, 60)))) // long-form string
+	f.Fuzz(func(t *testing.T, data []byte) {
+		it, err := Decode(data)
+		if err != nil {
+			return // invalid inputs only need to be rejected cleanly
+		}
+		enc := Encode(it)
+		it2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v (enc=%x)", err, enc)
+		}
+		if !itemEq(it, it2) {
+			t.Fatalf("round-trip changed the value: %#v vs %#v", it, it2)
+		}
+		if enc2 := Encode(it2); !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoder is not a fixed point: %x vs %x", enc, enc2)
+		}
+	})
+}
