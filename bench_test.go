@@ -8,6 +8,7 @@ import (
 
 	"github.com/nezha-dag/nezha/internal/bench"
 	"github.com/nezha-dag/nezha/internal/core"
+	"github.com/nezha-dag/nezha/internal/fail"
 	"github.com/nezha-dag/nezha/internal/types"
 	"github.com/nezha-dag/nezha/internal/workload"
 )
@@ -153,3 +154,18 @@ func BenchmarkBuildACG(b *testing.B) {
 func BenchmarkAblationWriteMix(b *testing.B) { runExperiment(b, "ablation-writemix") }
 
 func BenchmarkOCCAbortComparison(b *testing.B) { runExperiment(b, "occ-abort") }
+
+// BenchmarkFailpointDisabled guards internal/fail's core promise from the
+// benchstat PR gate: a disarmed failpoint site — and they sit on the WAL
+// append, the persist path, and every p2p delivery — costs one atomic
+// load, a few nanoseconds and zero allocations. A regression here taxes
+// every hot path in the node.
+func BenchmarkFailpointDisabled(b *testing.B) {
+	fail.Reset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := fail.Hit("bench/disarmed"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Command nezha-chaos runs the fault-injection convergence harness
+// (internal/chaos) from the command line — the same sweep CI runs, in a
+// form that reproduces a CI failure locally in one command.
+//
+//	nezha-chaos run    -seeds 20                 # seed sweep
+//	nezha-chaos replay -seed 7 -v                # one scenario, verbose event log
+//
+// run exits nonzero on any failed scenario and prints the exact replay
+// command for each failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/nezha-dag/nezha/internal/chaos"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: nezha-chaos <command> [flags]
+
+commands:
+  run     sweep scenario seeds through the chaos cluster and check convergence
+  replay  re-run one scenario by seed with its event log`)
+}
+
+// scenarioFlags registers the per-scenario knobs shared by run and replay.
+func scenarioFlags(fs *flag.FlagSet) *chaos.Config {
+	cfg := &chaos.Config{}
+	fs.IntVar(&cfg.Nodes, "nodes", 0, "cluster size (0 = default 4)")
+	fs.IntVar(&cfg.Chains, "chains", 0, "parallel chains (0 = default 3)")
+	fs.IntVar(&cfg.Rounds, "rounds", 0, "fault-active rounds (0 = default 36)")
+	fs.IntVar(&cfg.Accounts, "accounts", 0, "workload accounts (0 = default 300)")
+	fs.StringVar(&cfg.Dir, "dir", "", "scratch dir for node stores (default: temp, removed)")
+	return cfg
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	cfg := scenarioFlags(fs)
+	seeds := fs.Int("seeds", 20, "scenarios to run")
+	startSeed := fs.Int64("start-seed", 1, "first scenario seed")
+	maxFailures := fs.Int("max-failures", 3, "stop the sweep after this many failures")
+	verbose := fs.Bool("v", false, "one line per scenario")
+	fs.Parse(args)
+
+	sc := chaos.SweepConfig{
+		StartSeed:   *startSeed,
+		Seeds:       *seeds,
+		Scenario:    *cfg,
+		MaxFailures: *maxFailures,
+	}
+	if *verbose {
+		sc.Verbose = os.Stdout
+	}
+	rep, err := chaos.Sweep(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.Summary())
+	if rep.Failed() {
+		for _, f := range rep.Failures {
+			fmt.Printf("reproduce: nezha-chaos replay -seed %d\n", f.Seed)
+		}
+		return fmt.Errorf("nezha-chaos: %d of %d scenarios failed", len(rep.Failures), rep.Trials)
+	}
+	return nil
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	cfg := scenarioFlags(fs)
+	seed := fs.Int64("seed", -1, "scenario seed to replay (required)")
+	verbose := fs.Bool("v", true, "stream the scenario event log")
+	fs.Parse(args)
+
+	if *seed < 0 {
+		return fmt.Errorf("replay: -seed is required")
+	}
+	cfg.Seed = *seed
+	if *verbose {
+		cfg.Verbose = os.Stdout
+	}
+	res, err := chaos.Run(*cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("seed=%d epochs=%d blocks=%d crash-restarts=%d partitions=%d storage-errors=%d stalls=%d\n",
+		res.Seed, res.Epochs, res.Blocks, res.CrashRestarts, res.Partitions, res.StorageErrors, res.Stalls)
+	if res.Failure == nil {
+		fmt.Println("result: ok")
+		return nil
+	}
+	fmt.Printf("result: FAIL\n%s\n", res.Failure.Error())
+	return fmt.Errorf("replay: scenario failed")
+}

@@ -1,0 +1,85 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScenarioConverges runs single seeded scenarios end to end: faults
+// fire, the cluster heals, and every node ends on identical per-epoch
+// roots. Each seed is a subtest so a failure names its replay seed.
+func TestScenarioConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node chaos scenario")
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(strings.Join([]string{"seed", string(rune('0' + seed))}, ""), func(t *testing.T) {
+			res, err := Run(Config{Seed: seed, Dir: t.TempDir()})
+			if err != nil {
+				t.Fatalf("harness: %v", err)
+			}
+			if res.Failure != nil {
+				for _, ev := range res.Events {
+					t.Log(ev)
+				}
+				t.Fatal(res.Failure.Error())
+			}
+			if res.Epochs < minEpochs {
+				t.Fatalf("only %d epochs processed", res.Epochs)
+			}
+			if res.CrashRestarts < 1 || res.Partitions < 1 || res.StorageErrors < 1 || res.Stalls < 1 {
+				t.Fatalf("mandatory faults missing: %d crashes, %d partitions, %d storage errors, %d stalls\n%s",
+					res.CrashRestarts, res.Partitions, res.StorageErrors, res.Stalls,
+					strings.Join(res.Events, "\n"))
+			}
+		})
+	}
+}
+
+// TestScenarioReplaysDeterministically: the same seed must produce the
+// same fault schedule and the same converged chain — the property the
+// replay CLI relies on. Message timing may vary between runs, so only
+// seed-derived quantities are compared.
+func TestScenarioReplaysDeterministically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node chaos scenario")
+	}
+	a, err := Run(Config{Seed: 7, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Seed: 7, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Failure != nil || b.Failure != nil {
+		t.Fatalf("seed 7 failed: %v / %v", a.Failure, b.Failure)
+	}
+	if a.Partitions != b.Partitions || a.Stalls != b.Stalls {
+		t.Fatalf("fault schedule diverged between identical seeds: %+v vs %+v", a, b)
+	}
+}
+
+// TestSweepAggregates runs a tiny sweep through the CI entry point.
+func TestSweepAggregates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node chaos sweep")
+	}
+	rep, err := Sweep(SweepConfig{
+		StartSeed: 100,
+		Seeds:     2,
+		Scenario:  Config{Dir: t.TempDir()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		for _, f := range rep.Failures {
+			t.Error(f.Error())
+		}
+		t.FailNow()
+	}
+	if rep.Trials != 2 || rep.Epochs == 0 {
+		t.Fatalf("sweep under-reported: %s", rep.Summary())
+	}
+}

@@ -1,0 +1,95 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+)
+
+// SweepConfig parameterizes a multi-seed chaos sweep (the CI entry point).
+type SweepConfig struct {
+	// StartSeed is the first scenario seed; seeds increment from here.
+	StartSeed int64
+	// Seeds is how many scenarios to run. 0 means 20.
+	Seeds int
+	// Scenario is the per-seed configuration; its Seed field is overwritten
+	// by the sweep.
+	Scenario Config
+	// MaxFailures stops the sweep early once this many scenarios failed.
+	// 0 means 3.
+	MaxFailures int
+	// Verbose, when set, receives one line per scenario (and the scenario
+	// event logs if Scenario.Verbose is also set).
+	Verbose io.Writer
+}
+
+// Report aggregates a sweep.
+type Report struct {
+	Trials        int
+	Failures      []*Failure
+	Epochs        uint64
+	Blocks        int
+	CrashRestarts int
+	Partitions    int
+	StorageErrors int
+	Stalls        int
+}
+
+// Failed reports whether any scenario failed.
+func (r *Report) Failed() bool { return len(r.Failures) > 0 }
+
+// Summary renders the sweep outcome as one line.
+func (r *Report) Summary() string {
+	return fmt.Sprintf(
+		"chaos: %d scenarios, %d failures | %d epochs, %d blocks | %d crash-restarts, %d partitions, %d storage errors, %d stalls",
+		r.Trials, len(r.Failures), r.Epochs, r.Blocks,
+		r.CrashRestarts, r.Partitions, r.StorageErrors, r.Stalls)
+}
+
+// Sweep runs Seeds scenarios sequentially (failpoints are process-global)
+// and aggregates their results. The error reports harness setup problems
+// only; cluster misbehavior lands in Report.Failures with replayable
+// seeds.
+func Sweep(cfg SweepConfig) (*Report, error) {
+	if cfg.Seeds <= 0 {
+		cfg.Seeds = 20
+	}
+	if cfg.MaxFailures <= 0 {
+		cfg.MaxFailures = 3
+	}
+	rep := &Report{}
+	for i := 0; i < cfg.Seeds; i++ {
+		sc := cfg.Scenario
+		sc.Seed = cfg.StartSeed + int64(i)
+		res, err := Run(sc)
+		if err != nil {
+			return rep, fmt.Errorf("chaos: seed %d: %w", sc.Seed, err)
+		}
+		rep.Trials++
+		rep.Epochs += res.Epochs
+		rep.Blocks += res.Blocks
+		rep.CrashRestarts += res.CrashRestarts
+		rep.Partitions += res.Partitions
+		rep.StorageErrors += res.StorageErrors
+		rep.Stalls += res.Stalls
+		if cfg.Verbose != nil {
+			status := "ok"
+			if res.Failure != nil {
+				status = "FAIL"
+			}
+			fmt.Fprintf(cfg.Verbose,
+				"seed %d: %s (%d epochs, %d blocks, %d crashes, %d partitions, %d storage errors, %d stalls)\n",
+				sc.Seed, status, res.Epochs, res.Blocks,
+				res.CrashRestarts, res.Partitions, res.StorageErrors, res.Stalls)
+		}
+		if res.Failure != nil {
+			rep.Failures = append(rep.Failures, res.Failure)
+			if cfg.Verbose != nil {
+				fmt.Fprintln(cfg.Verbose, " ", res.Failure.Error())
+			}
+			if len(rep.Failures) >= cfg.MaxFailures {
+				break
+			}
+		}
+	}
+	return rep, nil
+}

@@ -400,6 +400,35 @@ func (l *Ledger) BlocksAbove(h uint64) []*types.Block {
 	return out
 }
 
+// SyncBlocksAbove returns every known non-genesis block strictly above
+// height h — canonical AND fork candidates — sorted height-major (then
+// chain, then hash, so the order is deterministic). Block sync must ship
+// candidates too: a block's committed tips may reference fork blocks that
+// later lost, and Add cannot re-derive a block whose tips are missing.
+// Because fork choice is a pure function of the block set, a peer that
+// ingests the full set converges to the same canonical chains.
+func (l *Ledger) SyncBlocksAbove(h uint64) []*types.Block {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []*types.Block
+	for _, b := range l.blocks {
+		if b.Header.Height > h {
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		bi, bj := out[i], out[j]
+		if bi.Header.Height != bj.Header.Height {
+			return bi.Header.Height < bj.Header.Height
+		}
+		if bi.Header.ChainID != bj.Header.ChainID {
+			return bi.Header.ChainID < bj.Header.ChainID
+		}
+		return lessHash(bi.Hash(), bj.Hash())
+	})
+	return out
+}
+
 // TotalOrder returns every non-genesis canonical block up to and including
 // maxEpoch in the OHIE total order.
 func (l *Ledger) TotalOrder(maxEpoch uint64) []*types.Block {

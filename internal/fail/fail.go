@@ -1,0 +1,261 @@
+// Package fail is the process-wide failpoint substrate: named injection
+// sites threaded through the I/O-critical paths (kvstore, p2p, node) that
+// tests and the chaos harness (internal/chaos) arm to simulate disk
+// errors, crashes, network stalls, and message drops.
+//
+// The design borrows from pingcap/failpoint and the FreeBSD fail(9)
+// facility, reduced to what a deterministic in-process cluster needs:
+//
+//   - A disarmed site costs one atomic load and a predictable branch —
+//     cheap enough to leave in production builds (BenchmarkFailpointDisabled
+//     in the root bench suite guards this).
+//   - Armed sites are seed-deterministic: every probabilistic decision
+//     draws from one package RNG reseeded via Seed, so a chaos run's fault
+//     schedule replays from its seed.
+//   - Sites are scoped by an optional tag (typically a node or store id),
+//     so a multi-node in-process cluster can fail one node's disk while
+//     its peers stay healthy.
+//
+// A site fires at most one spec; Enable replaces any previous spec for the
+// same name. Triggers count across tags: After/Count budgets are per-site,
+// not per-tag.
+package fail
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/nezha-dag/nezha/internal/metrics"
+)
+
+// ErrInjected is the error returned by ModeError specs with a nil Err;
+// injected errors wrap it either way, so callers (and tests) can detect
+// injection with errors.Is.
+var ErrInjected = errors.New("fail: injected error")
+
+// Crash is the panic payload of a ModePanic trigger — the in-process
+// stand-in for SIGKILL. Harnesses recover it (see IsCrash) and treat the
+// node as dead; any other panic is a real bug and must keep unwinding.
+type Crash struct {
+	// Name is the failpoint that fired.
+	Name string
+	// Tag is the scope the hit carried, if any.
+	Tag string
+}
+
+// String implements fmt.Stringer.
+func (c Crash) String() string {
+	if c.Tag == "" {
+		return "fail: injected crash at " + c.Name
+	}
+	return "fail: injected crash at " + c.Name + "@" + c.Tag
+}
+
+// IsCrash reports whether a recovered panic value is an injected crash.
+func IsCrash(r any) bool {
+	_, ok := r.(Crash)
+	return ok
+}
+
+// Mode selects what an armed failpoint does when it triggers.
+type Mode int
+
+const (
+	// ModeError makes the site return Spec.Err (ErrInjected when nil).
+	ModeError Mode = iota + 1
+	// ModePanic makes the site panic with a Crash payload — the simulated
+	// process kill.
+	ModePanic
+	// ModeDelay makes the site sleep for Spec.Delay before continuing.
+	ModeDelay
+	// ModeDrop makes Drop-style sites report "discard this item"; Hit-style
+	// sites treat it like a no-op.
+	ModeDrop
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModePanic:
+		return "panic"
+	case ModeDelay:
+		return "delay"
+	case ModeDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("mode_%d", int(m))
+	}
+}
+
+// Spec arms one failpoint.
+type Spec struct {
+	// Mode is what the site does when it triggers. Required.
+	Mode Mode
+	// Tag restricts the spec to hits carrying the same tag (a node or
+	// store id). Empty matches every hit.
+	Tag string
+	// Err is returned by ModeError triggers; nil means ErrInjected. Non-nil
+	// errors are wrapped so errors.Is(err, ErrInjected) still holds.
+	Err error
+	// Delay is the ModeDelay sleep.
+	Delay time.Duration
+	// Prob triggers the spec with this probability per matching hit; 0
+	// means always (the common deterministic case).
+	Prob float64
+	// After skips the first After matching hits before the spec may
+	// trigger ("fail the third flush").
+	After int
+	// Count disarms the spec after it has triggered Count times; 0 means
+	// unlimited.
+	Count int
+}
+
+// point is one armed site.
+type point struct {
+	spec  Spec
+	hits  int // matching hits seen
+	fired int // times triggered
+}
+
+var (
+	// armed is the number of enabled specs — the fast-path gate. Disarmed
+	// processes (all production runs) pay exactly this one atomic load.
+	armed atomic.Int32
+
+	mu     sync.Mutex
+	points map[string]*point
+	rng    = rand.New(rand.NewSource(1))
+
+	mTriggers = metrics.Default().Counter("nezha_fail_triggers_total",
+		"Failpoint triggers fired (all sites).")
+)
+
+// Enable arms the named site, replacing any existing spec for it.
+func Enable(name string, s Spec) {
+	mu.Lock()
+	defer mu.Unlock()
+	if points == nil {
+		points = make(map[string]*point)
+	}
+	if _, exists := points[name]; !exists {
+		armed.Add(1)
+	}
+	points[name] = &point{spec: s}
+}
+
+// Disable disarms the named site; unknown names are a no-op.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, exists := points[name]; exists {
+		delete(points, name)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every site. Tests and the chaos harness call it between
+// runs so no spec leaks across scenarios.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Add(-int32(len(points)))
+	points = nil
+}
+
+// Seed reseeds the probabilistic trigger RNG; a chaos run seeds it
+// alongside its other generators so Prob-based specs replay.
+func Seed(seed int64) {
+	mu.Lock()
+	defer mu.Unlock()
+	rng = rand.New(rand.NewSource(seed))
+}
+
+// Armed reports how many sites are currently enabled (test support).
+func Armed() int { return int(armed.Load()) }
+
+// Hit evaluates the named site with no tag. Disarmed sites return nil at
+// the cost of one atomic load. Armed sites may return an injected error,
+// panic with a Crash, or sleep, per their Spec.
+func Hit(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	return eval(name, "", false)
+}
+
+// HitTag is Hit with a scope tag (a node or store id) matched against
+// Spec.Tag.
+func HitTag(name, tag string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	return eval(name, tag, false)
+}
+
+// Drop evaluates a drop-style site: true means "discard this item" (a
+// message, a write). ModeDrop and ModePanic/ModeError specs on a Drop site
+// all behave as a drop decision — Drop never returns an error; ModeDelay
+// sleeps and reports false.
+func Drop(name, tag string) bool {
+	if armed.Load() == 0 {
+		return false
+	}
+	return eval(name, tag, true) != nil
+}
+
+// errDropped is the internal sentinel eval returns for drop decisions.
+var errDropped = errors.New("fail: dropped")
+
+// eval runs the slow path: match, count, trigger. Sleeps happen outside
+// the package lock so a delay spec cannot stall unrelated sites.
+func eval(name, tag string, dropSite bool) error {
+	mu.Lock()
+	p, ok := points[name]
+	if !ok || (p.spec.Tag != "" && p.spec.Tag != tag) {
+		mu.Unlock()
+		return nil
+	}
+	p.hits++
+	if p.hits <= p.spec.After {
+		mu.Unlock()
+		return nil
+	}
+	if p.spec.Prob > 0 && rng.Float64() >= p.spec.Prob {
+		mu.Unlock()
+		return nil
+	}
+	spec := p.spec
+	p.fired++
+	if spec.Count > 0 && p.fired >= spec.Count {
+		delete(points, name)
+		armed.Add(-1)
+	}
+	mu.Unlock()
+
+	mTriggers.Inc()
+	switch spec.Mode {
+	case ModePanic:
+		panic(Crash{Name: name, Tag: tag})
+	case ModeDelay:
+		time.Sleep(spec.Delay)
+		return nil
+	case ModeDrop:
+		if dropSite {
+			return errDropped
+		}
+		return nil
+	case ModeError:
+		fallthrough
+	default:
+		if spec.Err != nil {
+			return fmt.Errorf("%w: %s: %w", ErrInjected, name, spec.Err)
+		}
+		return fmt.Errorf("%w: %s", ErrInjected, name)
+	}
+}

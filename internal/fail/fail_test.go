@@ -1,0 +1,199 @@
+package fail
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNil(t *testing.T) {
+	Reset()
+	if err := Hit("nothing/armed"); err != nil {
+		t.Fatalf("disarmed hit returned %v", err)
+	}
+	if Drop("nothing/armed", "n1") {
+		t.Fatal("disarmed drop fired")
+	}
+	if Armed() != 0 {
+		t.Fatalf("armed = %d", Armed())
+	}
+}
+
+func TestErrorInjection(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("io/write", Spec{Mode: ModeError})
+	err := Hit("io/write")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	// A wrapped custom error still matches ErrInjected and the cause.
+	cause := errors.New("disk on fire")
+	Enable("io/write", Spec{Mode: ModeError, Err: cause})
+	err = Hit("io/write")
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, cause) {
+		t.Fatalf("wrapped err = %v", err)
+	}
+}
+
+func TestTagScoping(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("store/apply", Spec{Mode: ModeError, Tag: "n2"})
+	if err := HitTag("store/apply", "n1"); err != nil {
+		t.Fatalf("wrong tag triggered: %v", err)
+	}
+	if err := HitTag("store/apply", "n2"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matching tag did not trigger: %v", err)
+	}
+	// Untagged spec matches every tag.
+	Enable("store/apply", Spec{Mode: ModeError})
+	if err := HitTag("store/apply", "anything"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("untagged spec did not match: %v", err)
+	}
+}
+
+func TestAfterAndCount(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("wal/append", Spec{Mode: ModeError, After: 2, Count: 1})
+	for i := 0; i < 2; i++ {
+		if err := Hit("wal/append"); err != nil {
+			t.Fatalf("hit %d triggered early: %v", i, err)
+		}
+	}
+	if err := Hit("wal/append"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third hit did not trigger: %v", err)
+	}
+	// Count:1 disarmed the site.
+	if Armed() != 0 {
+		t.Fatalf("site still armed after count exhausted: %d", Armed())
+	}
+	if err := Hit("wal/append"); err != nil {
+		t.Fatalf("disarmed site triggered: %v", err)
+	}
+}
+
+func TestPanicIsCrash(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("node/persist", Spec{Mode: ModePanic, Tag: "n0"})
+	defer func() {
+		r := recover()
+		if !IsCrash(r) {
+			t.Fatalf("recovered %v, want Crash", r)
+		}
+		c := r.(Crash)
+		if c.Name != "node/persist" || c.Tag != "n0" {
+			t.Fatalf("crash = %+v", c)
+		}
+	}()
+	_ = HitTag("node/persist", "n0")
+	t.Fatal("panic did not fire")
+}
+
+func TestDelaySleeps(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p2p/stall", Spec{Mode: ModeDelay, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Hit("p2p/stall"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay spec slept only %v", d)
+	}
+}
+
+func TestDropDecision(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p2p/drop", Spec{Mode: ModeDrop, Tag: "n1", Count: 2})
+	if !Drop("p2p/drop", "n1") {
+		t.Fatal("matching drop did not fire")
+	}
+	if Drop("p2p/drop", "n2") {
+		t.Fatal("mismatched tag dropped")
+	}
+	if !Drop("p2p/drop", "n1") {
+		t.Fatal("second drop did not fire")
+	}
+	if Drop("p2p/drop", "n1") {
+		t.Fatal("count budget not honored")
+	}
+	// A ModeDrop spec on a Hit-style site is a no-op, not an error.
+	Enable("mixed/site", Spec{Mode: ModeDrop})
+	if err := Hit("mixed/site"); err != nil {
+		t.Fatalf("ModeDrop surfaced through Hit: %v", err)
+	}
+}
+
+func TestProbIsSeedDeterministic(t *testing.T) {
+	run := func() []bool {
+		Reset()
+		Seed(42)
+		Enable("p2p/loss", Spec{Mode: ModeDrop, Prob: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Drop("p2p/loss", "")
+		}
+		Reset()
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged across identical seeds", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("prob 0.5 fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestConcurrentHitsAreSafe(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("hot/site", Spec{Mode: ModeError, Prob: 0.5})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1_000; i++ {
+				_ = Hit("hot/site")
+				_ = HitTag("hot/site", "t")
+				_ = Drop("hot/site", "t")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkDisarmedHit guards the substrate's core promise: a disarmed
+// site is one atomic load. The root bench suite re-exports this as
+// BenchmarkFailpointDisabled for the benchstat PR gate.
+func BenchmarkDisarmedHit(b *testing.B) {
+	Reset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Hit("bench/disarmed"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDisarmedHitTag(b *testing.B) {
+	Reset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := HitTag("bench/disarmed", "node-7"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

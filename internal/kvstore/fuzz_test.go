@@ -27,7 +27,7 @@ func FuzzWAL(f *testing.F) {
 		}
 		dir := t.TempDir()
 		path := filepath.Join(dir, "wal")
-		w, err := openWAL(path)
+		w, err := openWAL(path, "")
 		if err != nil {
 			t.Fatalf("open: %v", err)
 		}

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/nezha-dag/nezha/internal/fail"
 	"github.com/nezha-dag/nezha/internal/metrics"
 )
 
@@ -38,6 +39,10 @@ type LSMOptions struct {
 	// CompactAt is the number of SSTables that triggers a full
 	// (size-tiered, single-output) compaction.
 	CompactAt int
+	// FailTag names this store instance for failpoint scoping: armed
+	// kvstore/* failpoints with a matching Spec.Tag hit only this store.
+	// Empty leaves the store's sites matchable by untagged specs only.
+	FailTag string
 }
 
 // DefaultLSMOptions returns small-footprint defaults suitable for the
@@ -120,7 +125,7 @@ func OpenLSM(dir string, opts LSMOptions) (*LSM, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.log, err = openWAL(walPath)
+	s.log, err = openWAL(walPath, opts.FailTag)
 	if err != nil {
 		return nil, err
 	}
@@ -181,6 +186,11 @@ func (s *LSM) Apply(b *Batch) error {
 	if s.closed {
 		return ErrClosed
 	}
+	// The batch-commit failpoint fires before any op reaches the WAL, so
+	// an injected error is clean: nothing of the batch is durable.
+	if err := fail.HitTag("kvstore/apply", s.opts.FailTag); err != nil {
+		return err
+	}
 	for _, op := range b.ops {
 		walOp := byte(walOpPut)
 		if op.delete {
@@ -210,6 +220,9 @@ func (s *LSM) flushLocked() error {
 	if s.mem.length == 0 {
 		return nil
 	}
+	if err := fail.HitTag("kvstore/flush", s.opts.FailTag); err != nil {
+		return err
+	}
 	mFlushes.Inc()
 	mFlushBytes.Add(float64(s.mem.bytes))
 	entries := make([]sstEntry, 0, s.mem.length)
@@ -237,7 +250,7 @@ func (s *LSM) flushLocked() error {
 	if err := os.Remove(walPath); err != nil {
 		return fmt.Errorf("kvstore: reset wal: %w", err)
 	}
-	if s.log, err = openWAL(walPath); err != nil {
+	if s.log, err = openWAL(walPath, s.opts.FailTag); err != nil {
 		return err
 	}
 	s.mem = newSkiplist()
@@ -252,6 +265,9 @@ func (s *LSM) flushLocked() error {
 // tombstones (a full compaction may discard tombstones because no older
 // table remains underneath).
 func (s *LSM) compactLocked() error {
+	if err := fail.HitTag("kvstore/compact", s.opts.FailTag); err != nil {
+		return err
+	}
 	merged := make(map[string]sstEntry)
 	// Oldest to newest: later tables overwrite.
 	for _, t := range s.tables {

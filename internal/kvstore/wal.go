@@ -8,6 +8,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+
+	"github.com/nezha-dag/nezha/internal/fail"
 )
 
 // wal is the write-ahead log making memtable contents durable before they
@@ -20,6 +22,9 @@ import (
 type wal struct {
 	f *os.File
 	w *bufio.Writer
+	// tag scopes this log's failpoints to its owning store (see
+	// LSMOptions.FailTag).
+	tag string
 }
 
 const (
@@ -27,16 +32,19 @@ const (
 	walOpDelete = 2
 )
 
-func openWAL(path string) (*wal, error) {
+func openWAL(path, tag string) (*wal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: open wal: %w", err)
 	}
-	return &wal{f: f, w: bufio.NewWriter(f)}, nil
+	return &wal{f: f, w: bufio.NewWriter(f), tag: tag}, nil
 }
 
 // append writes one record. Sync durability is left to the caller (sync).
 func (w *wal) append(op byte, key, value []byte) error {
+	if err := fail.HitTag("kvstore/wal-append", w.tag); err != nil {
+		return err
+	}
 	payload := make([]byte, 0, 1+2*binary.MaxVarintLen64+len(key)+len(value))
 	payload = append(payload, op)
 	payload = binary.AppendUvarint(payload, uint64(len(key)))
@@ -61,6 +69,9 @@ func (w *wal) append(op byte, key, value []byte) error {
 // the reproduction trades disk-crash durability for benchmark throughput,
 // like LevelDB's default write options.)
 func (w *wal) sync() error {
+	if err := fail.HitTag("kvstore/wal-sync", w.tag); err != nil {
+		return err
+	}
 	return w.w.Flush()
 }
 

@@ -21,6 +21,7 @@ import (
 	"github.com/nezha-dag/nezha/internal/consensus"
 	"github.com/nezha-dag/nezha/internal/core"
 	"github.com/nezha-dag/nezha/internal/dag"
+	"github.com/nezha-dag/nezha/internal/fail"
 	"github.com/nezha-dag/nezha/internal/kvstore"
 	"github.com/nezha-dag/nezha/internal/metrics"
 	"github.com/nezha-dag/nezha/internal/mpt"
@@ -82,6 +83,12 @@ type Config struct {
 	// which long-running nodes should avoid. Live /metrics series are
 	// unaffected — only the detailed Collector window shrinks.
 	RetainEpochStats int
+	// SyncBatch caps how many blocks one MsgBlocks response carries
+	// (rounded to a whole height window); a truncated response sets
+	// Message.More and Message.UpTo so the requester keeps paging. A
+	// long-offline joiner would otherwise make its peer serialize the
+	// entire chain into one message. 0 means DefaultSyncBatch.
+	SyncBatch int
 }
 
 // Node is one full node. Public methods are safe for concurrent use.
@@ -105,6 +112,13 @@ type Node struct {
 	// preval is the in-flight background signature prevalidation, if any
 	// (see pipeline.go).
 	preval *prevalidation
+	// pendingPersist holds an epoch whose in-memory commit succeeded but
+	// whose durability write failed (a transient disk error). The state
+	// advance cannot be rolled back — re-running the epoch would execute
+	// against post-epoch state — so the node instead re-attempts the
+	// persist before it processes anything further; until it succeeds the
+	// watermark stalls rather than leaving a hole no restart could replay.
+	pendingPersist *pendingEpoch
 	// tracer, when set, records per-stage spans for Chrome trace-event
 	// export (see telemetry.go). Nil means no tracing.
 	tracer *metrics.Tracer
@@ -181,11 +195,25 @@ func (n *Node) NextEpoch() uint64 {
 	return n.nextEpoch
 }
 
+// RootAt returns the state root recorded after processing epoch e (epoch 0
+// is the genesis root). The chaos harness compares these across nodes.
+func (n *Node) RootAt(e uint64) (types.Hash, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	root, ok := n.roots[e]
+	return root, ok
+}
+
 // SubmitBlock verifies a block's proof of work and adds it to the ledger.
 // Blocks whose ancestry has not arrived yet are buffered and retried after
 // later submissions (gossip delivers out of order); duplicate and
 // below-watermark blocks are reported via dag's errors.
 func (n *Node) SubmitBlock(b *types.Block) error {
+	// Failpoint: reject or crash on block ingest (a full disk, a corrupted
+	// message, a fault injected by the chaos harness).
+	if err := fail.HitTag("node/submit", n.id); err != nil {
+		return err
+	}
 	if err := consensus.VerifyPoW(b, n.cfg.Consensus); err != nil {
 		return err
 	}
@@ -250,9 +278,38 @@ type EpochResult struct {
 	Discarded []types.Hash
 }
 
+// pendingEpoch is a processed epoch still owed to the store (see
+// Node.pendingPersist).
+type pendingEpoch struct {
+	e      uint64
+	blocks []*types.Block
+}
+
+// flushPendingPersistLocked re-attempts a previously failed durability
+// write. Nothing else may persist (or process) until the owed epoch is on
+// disk: persisted epochs must stay contiguous or restoreFromStore finds a
+// watermark pointing at missing blocks.
+func (n *Node) flushPendingPersistLocked() error {
+	if n.pendingPersist == nil {
+		return nil
+	}
+	if err := n.persistEpochLocked(n.pendingPersist.e, n.pendingPersist.blocks); err != nil {
+		return err
+	}
+	n.pendingPersist = nil
+	return nil
+}
+
 // ProcessReadyEpochs processes every fully-assembled epoch in order and
-// returns their results.
+// returns their results. An epoch owed to the store by an earlier failed
+// persist is flushed first, even when no new epoch is ready.
 func (n *Node) ProcessReadyEpochs() ([]*EpochResult, error) {
+	n.mu.Lock()
+	err := n.flushPendingPersistLocked()
+	n.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
 	var out []*EpochResult
 	for {
 		n.mu.Lock()
@@ -300,6 +357,9 @@ func (n *Node) ProcessEpoch(e uint64) (*EpochResult, error) {
 // processBlocksLocked runs the epoch through the staged pipeline (see
 // pipeline.go for the stages) and finalizes the result.
 func (n *Node) processBlocksLocked(e uint64, blocks []*types.Block) (*EpochResult, error) {
+	if err := n.flushPendingPersistLocked(); err != nil {
+		return nil, err
+	}
 	stats := metrics.EpochStats{Epoch: e, BlockConcurrency: len(blocks)}
 	er := &epochRun{
 		number: e,
@@ -322,6 +382,7 @@ func (n *Node) processBlocksLocked(e uint64, blocks []*types.Block) (*EpochResul
 	n.ledger.Finalize(e)
 	if n.cfg.Persist {
 		if err := n.persistEpochLocked(e, er.epoch.Blocks); err != nil {
+			n.pendingPersist = &pendingEpoch{e: e, blocks: er.epoch.Blocks}
 			return nil, err
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"github.com/nezha-dag/nezha/internal/fail"
 	"github.com/nezha-dag/nezha/internal/kvstore"
 	"github.com/nezha-dag/nezha/internal/rlp"
 	"github.com/nezha-dag/nezha/internal/types"
@@ -34,14 +35,28 @@ func blockKey(epoch uint64, chain uint32) []byte {
 }
 
 // persistEpochLocked stores the epoch's canonical blocks and the updated
-// metadata in one atomic batch.
+// metadata in one atomic batch. The meta record goes LAST into the batch:
+// it is the commit point, so a crash that tears the batch mid-WAL replays
+// blocks without the watermark — the epoch simply re-persists on the next
+// run — never a watermark pointing at missing blocks.
 func (n *Node) persistEpochLocked(e uint64, blocks []*types.Block) error {
+	// Failpoints bracketing the durability write: "node/persist" fires
+	// before anything is built (crash = nothing stored), and
+	// "node/persist-done" after the batch is durable (crash = fully
+	// stored, the restarted node must land on the NEW watermark). The
+	// mid-write cases live in kvstore's own failpoints.
+	if err := fail.HitTag("node/persist", n.id); err != nil {
+		return fmt.Errorf("node: persist epoch %d: %w", e, err)
+	}
 	batch := &kvstore.Batch{}
 	for _, b := range blocks {
 		batch.Put(blockKey(e, b.Header.ChainID), types.EncodeBlock(b))
 	}
 	batch.Put(metaKey, n.encodeMetaLocked())
 	if err := n.store.Apply(batch); err != nil {
+		return fmt.Errorf("node: persist epoch %d: %w", e, err)
+	}
+	if err := fail.HitTag("node/persist-done", n.id); err != nil {
 		return fmt.Errorf("node: persist epoch %d: %w", e, err)
 	}
 	return nil

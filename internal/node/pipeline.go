@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/nezha-dag/nezha/internal/crypto"
+	"github.com/nezha-dag/nezha/internal/fail"
 	"github.com/nezha-dag/nezha/internal/metrics"
 	"github.com/nezha-dag/nezha/internal/statedb"
 	"github.com/nezha-dag/nezha/internal/types"
@@ -31,10 +32,13 @@ import (
 
 // stage is one named step of the epoch pipeline. run receives the stage's
 // StageStat with Name and Workers pre-filled and may refine Tasks, Busy,
-// Workers, and Overlap; runStages fills Duration.
+// Workers, and Overlap; runStages fills Duration. failName is the stage's
+// handoff failpoint, evaluated before the stage runs (precomputed so the
+// disabled fast path costs no string concatenation per epoch).
 type stage struct {
-	name string
-	run  func(n *Node, er *epochRun, ss *metrics.StageStat) error
+	name     string
+	failName string
+	run      func(n *Node, er *epochRun, ss *metrics.StageStat) error
 }
 
 // epochRun is the scratch state one epoch threads through its stages.
@@ -56,16 +60,16 @@ type epochRun struct {
 // concurrentStages is the speculative pipeline of §III-B: validation,
 // concurrent execution, concurrency control, group-concurrent commitment.
 var concurrentStages = []stage{
-	{"validate", (*Node).validateStage},
-	{"execute", (*Node).executeStage},
-	{"schedule", (*Node).scheduleStage},
-	{"commit", (*Node).commitStage},
+	{"validate", "node/stage-validate", (*Node).validateStage},
+	{"execute", "node/stage-execute", (*Node).executeStage},
+	{"schedule", "node/stage-schedule", (*Node).scheduleStage},
+	{"commit", "node/stage-commit", (*Node).commitStage},
 }
 
 // serialStages is the serial baseline of §VI-B behind the same harness.
 var serialStages = []stage{
-	{"validate", (*Node).validateStage},
-	{"serial", (*Node).serialStage},
+	{"validate", "node/stage-validate", (*Node).validateStage},
+	{"serial", "node/stage-serial", (*Node).serialStage},
 }
 
 // runStages drives the pipeline: each stage is timed into a StageStat
@@ -73,6 +77,12 @@ var serialStages = []stage{
 // phase field the stage corresponds to.
 func (n *Node) runStages(er *epochRun, stages []stage) error {
 	for _, st := range stages {
+		// Stage-handoff failpoint: an injected error aborts the epoch
+		// before the stage touches shared state; an injected panic
+		// simulates a crash between stages.
+		if err := fail.HitTag(st.failName, n.id); err != nil {
+			return fmt.Errorf("node: epoch %d %s handoff: %w", er.number, st.name, err)
+		}
 		ss := metrics.StageStat{Name: st.name, Workers: 1}
 		start := time.Now()
 		if err := st.run(n, er, &ss); err != nil {

@@ -28,14 +28,61 @@ func (n *Node) MinHeight() uint64 {
 	return min
 }
 
-// HandleSyncRequest serves a MsgGetBlocks: it replies with the canonical
-// blocks above the requested height, parents before children.
+// DefaultSyncBatch is the MsgBlocks response cap when Config.SyncBatch is
+// zero: large enough that a small cluster catches up in one round trip,
+// small enough that serving a long-offline joiner never serializes the
+// whole chain into one message.
+const DefaultSyncBatch = 128
+
+// syncBatch resolves Config.SyncBatch.
+func (n *Node) syncBatch() int {
+	if n.cfg.SyncBatch > 0 {
+		return n.cfg.SyncBatch
+	}
+	return DefaultSyncBatch
+}
+
+// HandleSyncRequest serves a MsgGetBlocks: it replies with every block it
+// knows — canonical and fork candidates, because committed tips may point
+// at candidates — above the requested height, capped near Config.SyncBatch
+// blocks per response. The cap cuts at a height boundary so each reply
+// covers a complete height window (request Height, UpTo]: the requester
+// can advance its paging cursor to UpTo knowing nothing below it was
+// withheld, even while some of its blocks still sit in the orphan buffer
+// waiting for tips from higher windows. A truncated reply sets More.
 func (n *Node) HandleSyncRequest(ep *p2p.Endpoint, msg p2p.Message) {
-	blocks := n.ledger.BlocksAbove(msg.Height)
-	if len(blocks) == 0 {
+	all := n.ledger.SyncBlocksAbove(msg.Height)
+	if len(all) == 0 {
 		return
 	}
-	ep.Send(msg.From, p2p.Message{Type: p2p.MsgBlocks, Blocks: blocks})
+	blocks, more := all, false
+	if batch := n.syncBatch(); len(all) > batch {
+		cutH := all[batch].Header.Height
+		if all[0].Header.Height == cutH {
+			// The window's first height level alone exceeds the batch:
+			// ship the whole level anyway, a partial level would let the
+			// requester advance past blocks it never saw.
+			end := batch
+			for end < len(all) && all[end].Header.Height == cutH {
+				end++
+			}
+			blocks, more = all[:end], end < len(all)
+		} else {
+			// Exclude the partially-covered level at the cut.
+			end := batch
+			for end > 0 && all[end-1].Header.Height == cutH {
+				end--
+			}
+			blocks, more = all[:end], true
+		}
+	}
+	syncServed(n.id).Add(float64(len(blocks)))
+	ep.Send(msg.From, p2p.Message{
+		Type:   p2p.MsgBlocks,
+		Blocks: blocks,
+		UpTo:   blocks[len(blocks)-1].Header.Height,
+		More:   more,
+	})
 }
 
 // HandleSyncResponse ingests a MsgBlocks batch, tolerating duplicates,

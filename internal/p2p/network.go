@@ -13,13 +13,16 @@ import (
 	"sync"
 	"time"
 
+	"github.com/nezha-dag/nezha/internal/fail"
 	"github.com/nezha-dag/nezha/internal/metrics"
 	"github.com/nezha-dag/nezha/internal/types"
 )
 
 // msgDropped returns the drop counter for one (message type, reason)
-// pair; reasons are "loss" (simulated wire loss) and "queue_full" (a
-// saturated inbox).
+// pair; reasons are "loss" (simulated wire loss), "queue_full" (a
+// saturated inbox after retries), "partition" (sender and recipient in
+// different partition groups), "down" (a crashed endpoint), and
+// "failpoint" (an armed p2p/drop site).
 func msgDropped(t MsgType, reason string) *metrics.Counter {
 	return metrics.Default().Counter("nezha_p2p_msgs_dropped_total",
 		"Messages dropped in flight, by type and reason.",
@@ -84,6 +87,14 @@ type Message struct {
 	Height uint64
 	// Blocks is set for MsgBlocks.
 	Blocks []*types.Block
+	// UpTo is set on a MsgBlocks response: the batch covers every block
+	// the sender knows with height in (request Height, UpTo]. The
+	// requester resumes paging from UpTo.
+	UpTo uint64
+	// More is set on a MsgBlocks response whose sender capped the batch:
+	// the requester should re-request from UpTo to keep catching up (see
+	// node.HandleSyncRequest).
+	More bool
 }
 
 // Config tunes the simulated network.
@@ -100,6 +111,15 @@ type Config struct {
 	// QueueLen is each endpoint's inbox capacity (senders drop when an
 	// inbox is full, like a saturated socket buffer).
 	QueueLen int
+	// QueueRetries is how many times a delivery of a block-bearing
+	// message (MsgBlock, MsgBlocks) retries a full inbox before dropping,
+	// so a briefly-busy node does not force a full sync round. Other
+	// message types always drop immediately (gossip redundancy covers
+	// them). 0 means 3; negative disables retries.
+	QueueRetries int
+	// RetryDelay is the pause between inbox retries. 0 means the base
+	// Latency, or 1 ms when Latency is 0.
+	RetryDelay time.Duration
 }
 
 // DefaultConfig simulates a same-region LAN: 1 ms ± 1 ms, no loss.
@@ -119,6 +139,13 @@ type Network struct {
 	nodes   map[string]*Endpoint
 	pending sync.WaitGroup
 	closed  bool
+	// partition maps node id -> group index; nil means fully connected.
+	// Nodes in different groups cannot exchange messages.
+	partition map[string]int
+	// down marks crashed endpoints: they neither send nor receive until
+	// marked up again (crash-restart simulation keeps the endpoint and
+	// its id, like a process restarting on the same host).
+	down map[string]bool
 }
 
 // NewNetwork creates an empty network.
@@ -126,10 +153,20 @@ func NewNetwork(cfg Config) *Network {
 	if cfg.QueueLen <= 0 {
 		cfg.QueueLen = 1024
 	}
+	if cfg.QueueRetries == 0 {
+		cfg.QueueRetries = 3
+	}
+	if cfg.RetryDelay <= 0 {
+		cfg.RetryDelay = cfg.Latency
+		if cfg.RetryDelay <= 0 {
+			cfg.RetryDelay = time.Millisecond
+		}
+	}
 	return &Network{
 		cfg:   cfg,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		nodes: make(map[string]*Endpoint),
+		down:  make(map[string]bool),
 	}
 }
 
@@ -161,6 +198,66 @@ func (n *Network) Peers() []string {
 		out = append(out, id)
 	}
 	return out
+}
+
+// Partition splits the network into isolated groups: nodes may only
+// exchange messages with nodes in their own group. Nodes not named in any
+// group together form one implicit group of their own, so a single call
+// like Partition([]string{"n3"}) isolates n3 from everyone else. Heal
+// reconnects everything.
+func (n *Network) Partition(groups ...[]string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	// Listed groups are numbered from 1; unlisted nodes read as the map
+	// zero value 0, the implicit group.
+	n.partition = make(map[string]int)
+	for g, ids := range groups {
+		for _, id := range ids {
+			n.partition[id] = g + 1
+		}
+	}
+}
+
+// Heal removes any partition: the network is fully connected again.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = nil
+}
+
+// SetDown marks an endpoint as crashed (true) or restarted (false). A down
+// endpoint neither sends nor receives; its queued inbox messages remain
+// and are typically drained by Endpoint.Drain on restart.
+func (n *Network) SetDown(id string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[id] = down
+}
+
+// Drain discards everything queued in the endpoint's inbox — a restarted
+// process has an empty socket buffer.
+func (e *Endpoint) Drain() int {
+	drained := 0
+	for {
+		select {
+		case <-e.inbox:
+			drained++
+		default:
+			return drained
+		}
+	}
+}
+
+// reachableLocked reports whether a message from `from` may reach `to`
+// under the current partition and crash state.
+func (n *Network) reachableLocked(from, to string) (ok bool, reason string) {
+	if n.down[from] || n.down[to] {
+		return false, "down"
+	}
+	if n.partition != nil && n.partition[from] != n.partition[to] {
+		return false, "partition"
+	}
+	return true, ""
 }
 
 // Close stops delivery; in-flight messages are awaited so no goroutine
@@ -213,6 +310,10 @@ func (e *Endpoint) Send(to string, msg Message) {
 
 func (n *Network) deliverLocked(to *Endpoint, msg Message) {
 	msgSent(msg.Type).Inc()
+	if ok, reason := n.reachableLocked(msg.From, to.id); !ok {
+		msgDropped(msg.Type, reason).Inc()
+		return
+	}
 	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
 		msgDropped(msg.Type, "loss").Inc()
 		return
@@ -221,19 +322,42 @@ func (n *Network) deliverLocked(to *Endpoint, msg Message) {
 	if n.cfg.Jitter > 0 {
 		delay += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
 	}
+	// Block-bearing messages get a bounded number of inbox retries: a
+	// briefly-saturated recipient should miss a block only under real
+	// pressure, because every miss costs a sync round later.
+	retries := 0
+	if msg.Type == MsgBlock || msg.Type == MsgBlocks {
+		retries = n.cfg.QueueRetries
+	}
+	retryDelay := n.cfg.RetryDelay
 	n.pending.Add(1)
 	go func() {
 		defer n.pending.Done()
 		if delay > 0 {
 			time.Sleep(delay)
 		}
-		// Non-blocking: a full inbox drops the message, like a
-		// saturated socket buffer.
-		select {
-		case to.inbox <- msg:
-			msgDelivered(msg.Type).Inc()
-		default:
-			msgDropped(msg.Type, "queue_full").Inc()
+		// Failpoints evaluate per delivery, scoped by the recipient: an
+		// armed p2p/drop blackholes traffic toward one node, an armed
+		// p2p/stall delays it (a slow peer).
+		if fail.Drop("p2p/drop", to.id) {
+			msgDropped(msg.Type, "failpoint").Inc()
+			return
+		}
+		_ = fail.HitTag("p2p/stall", to.id)
+		// Non-blocking: a full inbox drops the message, like a saturated
+		// socket buffer — after the bounded retries above, for blocks.
+		for attempt := 0; ; attempt++ {
+			select {
+			case to.inbox <- msg:
+				msgDelivered(msg.Type).Inc()
+				return
+			default:
+				if attempt >= retries {
+					msgDropped(msg.Type, "queue_full").Inc()
+					return
+				}
+				time.Sleep(retryDelay)
+			}
 		}
 	}()
 }
