@@ -164,7 +164,7 @@ func BenchmarkFailpointDisabled(b *testing.B) {
 	fail.Reset()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if err := fail.Hit("bench/disarmed"); err != nil {
+		if err := fail.Hit(fail.BenchDisarmed); err != nil {
 			b.Fatal(err)
 		}
 	}

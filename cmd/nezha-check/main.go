@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -77,6 +78,22 @@ func cgBudget(seconds int) *cg.Config {
 	return &cg.Config{MaxCycles: 100_000, SampleCycles: 50_000, TimeBudget: time.Duration(seconds) * time.Second}
 }
 
+// runVet shells out to the nezha-vet analyzer suite (tier 0 of the test
+// pyramid, see TESTING.md): static invariants first, then the dynamic
+// sweep — a registry or determinism violation fails fast without burning
+// minutes of differential trials. Module-path patterns keep it working
+// from any directory inside the module.
+func runVet() error {
+	cmd := exec.Command("go", "run",
+		"github.com/nezha-dag/nezha/cmd/nezha-vet", "github.com/nezha-dag/nezha/...")
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("nezha-vet failed: %w", err)
+	}
+	return nil
+}
+
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	seeds := fs.Int("seeds", 10, "seeds per profile")
@@ -86,9 +103,15 @@ func cmdRun(args []string) error {
 	profiles := fs.String("profiles", "all", "comma-separated profile names, or 'all'")
 	par := fs.String("par", "1,2,4,8", "parallelism levels to diff")
 	cgSecs := fs.Int("cg-budget", 5, "CG baseline time budget per trial, seconds (0 skips CG)")
+	vet := fs.Bool("vet", false, "run the nezha-vet analyzers over the tree first (tier 0)")
 	verbose := fs.Bool("v", false, "one line per trial")
 	fs.Parse(args)
 
+	if *vet {
+		if err := runVet(); err != nil {
+			return err
+		}
+	}
 	pars, err := parseParallelisms(*par)
 	if err != nil {
 		return err

@@ -1,0 +1,32 @@
+// Command nezha-vet runs the repo-specific invariant analyzers over the
+// tree — the static half of the correctness story whose dynamic half is
+// the differential harness (nezha-check) and the chaos sweeps
+// (nezha-chaos). CI runs it as a required job; run it locally with:
+//
+//	go run ./cmd/nezha-vet ./...
+//	go run ./cmd/nezha-vet -run detmap,failpoint ./internal/core
+//	go run ./cmd/nezha-vet -fix ./...   # apply mechanical suggested fixes
+//
+// The analyzers and the invariants they enforce are documented in
+// internal/lint (one doc.go per analyzer); the //nezha:<check>-ok
+// annotation grammar is in internal/lint/doc.go and DESIGN.md §11.
+package main
+
+import (
+	"github.com/nezha-dag/nezha/internal/lint/analysis"
+	"github.com/nezha-dag/nezha/internal/lint/detmap"
+	"github.com/nezha-dag/nezha/internal/lint/detsource"
+	"github.com/nezha-dag/nezha/internal/lint/failpoint"
+	"github.com/nezha-dag/nezha/internal/lint/locksafe"
+	"github.com/nezha-dag/nezha/internal/lint/metricshygiene"
+)
+
+func main() {
+	analysis.Main(
+		detmap.Analyzer,
+		detsource.Analyzer,
+		failpoint.Analyzer,
+		locksafe.Analyzer,
+		metricshygiene.Analyzer,
+	)
+}

@@ -28,8 +28,10 @@
 package cg
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/nezha-dag/nezha/internal/graph"
@@ -80,24 +82,24 @@ func (c *Scheduler) Schedule(sims []*types.SimResult) (*types.Schedule, types.Ph
 	var pb types.PhaseBreakdown
 
 	// Step 1: graph construction.
-	start := time.Now()
+	start := time.Now() //nezha:nondeterminism-ok wall-clock only feeds the local PhaseBreakdown timings, never the schedule
 	g, ids := buildConflictGraph(sims)
-	pb.Graph = time.Since(start)
+	pb.Graph = time.Since(start) //nezha:nondeterminism-ok wall-clock only feeds the local PhaseBreakdown timings, never the schedule
 
 	// Step 2: cycle detection and removal.
-	start = time.Now()
+	start = time.Now() //nezha:nondeterminism-ok wall-clock only feeds the local PhaseBreakdown timings, never the schedule
 	var deadline time.Time
 	if c.cfg.TimeBudget > 0 {
 		deadline = start.Add(c.cfg.TimeBudget)
 	}
 	abortedVerts, err := removeCycles(g, c.cfg, deadline)
-	pb.Cycle = time.Since(start)
+	pb.Cycle = time.Since(start) //nezha:nondeterminism-ok wall-clock only feeds the local PhaseBreakdown timings, never the schedule
 	if err != nil {
 		return nil, pb, err
 	}
 
 	// Step 3: topological sorting of the survivors.
-	start = time.Now()
+	start = time.Now() //nezha:nondeterminism-ok wall-clock only feeds the local PhaseBreakdown timings, never the schedule
 	sched := types.NewSchedule()
 	order, ok := topoWithout(g, abortedVerts)
 	if !ok {
@@ -109,11 +111,12 @@ func (c *Scheduler) Schedule(sims []*types.SimResult) (*types.Schedule, types.Ph
 		sched.Commit(ids[v], seq)
 		seq++
 	}
+	//nezha:nondeterminism-ok NormalizeAborts re-sequences the abort set deterministically below
 	for v := range abortedVerts {
 		sched.Abort(ids[v], types.AbortCycle)
 	}
 	sched.NormalizeAborts()
-	pb.Sort = time.Since(start)
+	pb.Sort = time.Since(start) //nezha:nondeterminism-ok wall-clock only feeds the local PhaseBreakdown timings, never the schedule
 
 	return sched, pb, nil
 }
@@ -153,7 +156,17 @@ func buildConflictGraph(sims []*types.SimResult) (*graph.Directed, []types.TxID)
 		}
 	}
 
-	for _, a := range byKey {
+	// Iterate keys in sorted order: the edge set is order-insensitive, but
+	// adjacency-list ORDER is not — it steers cycle enumeration and the
+	// sampling budget, so map order here would make the baseline's abort
+	// set differ across replicas (found by nezha-vet's detmap).
+	keys := make([]types.Key, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i][:], keys[j][:]) < 0 })
+	for _, k := range keys {
+		a := byKey[k]
 		// Read-write: every reader must precede every writer (all reads
 		// observe the epoch snapshot).
 		for _, r := range a.readers {
@@ -195,6 +208,7 @@ func removeCycles(g *graph.Directed, cfg Config, deadline time.Time) (map[int]bo
 	}
 	aborted := make(map[int]bool)
 	for {
+		//nezha:nondeterminism-ok the paper grants the CG baseline a wall-clock budget; overruns surface as ErrCycleExplosion, not as a schedule
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			return nil, fmt.Errorf("%w: over %v", ErrCycleExplosion, cfg.TimeBudget)
 		}
@@ -232,6 +246,7 @@ func removeCycles(g *graph.Directed, cfg Config, deadline time.Time) (map[int]bo
 			return nil, fmt.Errorf("cg: sample cycles: %w", err)
 		}
 		victim, best := -1, 0
+		//nezha:nondeterminism-ok max with a total (count, id) tie-break is iteration-order-insensitive
 		for v, n := range count {
 			if n > best || (n == best && v > victim) {
 				victim, best = v, n
@@ -255,6 +270,7 @@ func greedyCover(cycles [][]int, aborted map[int]bool) {
 			}
 		}
 		victim, best := -1, 0
+		//nezha:nondeterminism-ok max with a total (count, id) tie-break is iteration-order-insensitive
 		for v, c := range count {
 			if c > best || (c == best && v > victim) {
 				victim, best = v, c

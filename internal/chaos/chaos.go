@@ -68,11 +68,11 @@ const (
 // crashSites are the failpoints a crash fault may arm; all sit on paths a
 // live node exercises every round or two, so an armed ModePanic fires
 // quickly (crashForceAfter is the backstop).
-var crashSites = []string{
-	"node/persist",
-	"node/submit",
-	"kvstore/wal-append",
-	"node/stage-commit",
+var crashSites = []fail.Name{
+	fail.NodePersist,
+	fail.NodeSubmit,
+	fail.KVWALAppend,
+	fail.NodeStageCommit,
 }
 
 // Config parameterizes one chaos scenario.
@@ -173,13 +173,13 @@ const (
 type fault struct {
 	kind     faultKind
 	node     int
-	site     string // crash failpoint site
-	duration int    // rounds down / partitioned / stalled
+	site     fail.Name // crash failpoint site
+	duration int       // rounds down / partitioned / stalled
 }
 
 // pendingCrash tracks an armed crash failpoint that has not fired yet.
 type pendingCrash struct {
-	site    string
+	site    fail.Name
 	forceAt int // round at which the arm becomes a hard kill
 	downFor int
 }
@@ -225,7 +225,7 @@ type harness struct {
 	agreedBy map[uint64]string
 	// armedSites maps failpoint name -> target node id while armed, so two
 	// faults never fight over one site (Enable replaces).
-	armedSites map[string]string
+	armedSites map[fail.Name]string
 	// now is the virtual clock the syncer runs on; it advances a fixed
 	// step per round so deadlines and backoff replay deterministically.
 	now time.Time
@@ -266,7 +266,7 @@ func Run(cfg Config) (*Result, error) {
 		maxHeights: make([]uint64, cfg.Chains),
 		agreed:     make(map[uint64]types.Hash),
 		agreedBy:   make(map[uint64]string),
-		armedSites: make(map[string]string),
+		armedSites: make(map[fail.Name]string),
 		now:        time.Unix(0, 0).Add(time.Hour),
 		res:        &Result{Seed: cfg.Seed},
 	}
@@ -457,12 +457,12 @@ func (h *harness) beginRound(r int) {
 		if !cn.down && cn.pending != nil && r >= cn.pending.forceAt {
 			// The armed site was never hit (the node idled); crash it the
 			// blunt way so the schedule's kill still happens.
-			h.kill(r, cn, "forced kill, failpoint "+cn.pending.site+" never fired")
+			h.kill(r, cn, "forced kill, failpoint "+string(cn.pending.site)+" never fired")
 		}
 		if cn.stalledUntil != 0 && r >= cn.stalledUntil {
-			if h.armedSites["p2p/drop"] == cn.id {
-				fail.Disable("p2p/drop")
-				delete(h.armedSites, "p2p/drop")
+			if h.armedSites[fail.P2PDrop] == cn.id {
+				fail.Disable(fail.P2PDrop)
+				delete(h.armedSites, fail.P2PDrop)
 			}
 			cn.stalledUntil = 0
 		}
@@ -493,11 +493,11 @@ func (h *harness) applyFault(r int, f fault) {
 		if cn == nil {
 			return
 		}
-		if _, taken := h.armedSites["kvstore/apply"]; taken {
+		if _, taken := h.armedSites[fail.KVApply]; taken {
 			return
 		}
-		fail.Enable("kvstore/apply", fail.Spec{Mode: fail.ModeError, Tag: cn.id, Count: 1})
-		h.armedSites["kvstore/apply"] = cn.id
+		fail.Enable(fail.KVApply, fail.Spec{Mode: fail.ModeError, Tag: cn.id, Count: 1})
+		h.armedSites[fail.KVApply] = cn.id
 		h.eventf(r, "armed storage error kvstore/apply@%s", cn.id)
 	case faultPartition:
 		if h.healAt != 0 {
@@ -517,11 +517,11 @@ func (h *harness) applyFault(r int, f fault) {
 		if cn == nil {
 			return
 		}
-		if _, taken := h.armedSites["p2p/drop"]; taken {
+		if _, taken := h.armedSites[fail.P2PDrop]; taken {
 			return
 		}
-		fail.Enable("p2p/drop", fail.Spec{Mode: fail.ModeDrop, Tag: cn.id, Prob: 0.8, Count: 20})
-		h.armedSites["p2p/drop"] = cn.id
+		fail.Enable(fail.P2PDrop, fail.Spec{Mode: fail.ModeDrop, Tag: cn.id, Prob: 0.8, Count: 20})
+		h.armedSites[fail.P2PDrop] = cn.id
 		cn.stalledUntil = r + f.duration
 		h.res.Stalls++
 		h.eventf(r, "stalling deliveries to %s for %d rounds", cn.id, f.duration)
@@ -857,7 +857,7 @@ func (h *harness) syncStep() {
 // every node must report identical roots for every processed epoch.
 func (h *harness) converge() {
 	fail.Reset()
-	h.armedSites = make(map[string]string)
+	h.armedSites = make(map[fail.Name]string)
 	h.net.Heal()
 	h.minority, h.healAt = nil, 0
 	r := h.cfg.Rounds

@@ -3,6 +3,7 @@ package check
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"github.com/nezha-dag/nezha/internal/cg"
@@ -280,7 +281,15 @@ func diffSchedules(a, b *types.Schedule) string {
 		parts = append(parts, fmt.Sprintf("aborted %d vs %d", a.AbortedCount(), b.AbortedCount()))
 	}
 	n := 0
-	for id, seq := range a.Seqs {
+	// Sorted ids so the first five diffs reported are the same on every
+	// run — failure messages must replay bit-exactly (found by nezha-vet).
+	ids := make([]types.TxID, 0, len(a.Seqs))
+	for id := range a.Seqs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		seq := a.Seqs[id]
 		if o, ok := b.Seqs[id]; !ok || o != seq {
 			if n < 5 {
 				parts = append(parts, fmt.Sprintf("tx %d: seq %d vs %d", id, seq, b.Seqs[id]))

@@ -133,7 +133,7 @@ func (n *Scheduler) Schedule(sims []*types.SimResult) (*types.Schedule, types.Ph
 	var pb types.PhaseBreakdown
 	par := n.parallelism(len(sims))
 
-	start := time.Now()
+	start := time.Now() //nezha:nondeterminism-ok wall-clock only feeds the local PhaseBreakdown timings, never the schedule
 	var acg *ACG
 	if par > 1 {
 		acg = BuildACGSharded(sims, par)
@@ -141,13 +141,13 @@ func (n *Scheduler) Schedule(sims []*types.SimResult) (*types.Schedule, types.Ph
 		acg = BuildACG(sims)
 	}
 	pb.Shards = par
-	pb.Graph = time.Since(start)
+	pb.Graph = time.Since(start) //nezha:nondeterminism-ok wall-clock only feeds the local PhaseBreakdown timings, never the schedule
 
-	start = time.Now()
+	start = time.Now() //nezha:nondeterminism-ok wall-clock only feeds the local PhaseBreakdown timings, never the schedule
 	ranks := RankAddresses(acg, n.cfg.Heuristic)
-	pb.Cycle = time.Since(start)
+	pb.Cycle = time.Since(start) //nezha:nondeterminism-ok wall-clock only feeds the local PhaseBreakdown timings, never the schedule
 
-	start = time.Now()
+	start = time.Now() //nezha:nondeterminism-ok wall-clock only feeds the local PhaseBreakdown timings, never the schedule
 	srt := newSorter(acg, n.cfg.Reorder, n.cfg.InjectFault)
 	if par > 1 {
 		clusters := conflictClusters(acg, ranks)
@@ -175,7 +175,7 @@ func (n *Scheduler) Schedule(sims []*types.SimResult) (*types.Schedule, types.Ph
 		sched.Commit(id, srt.seqOf[id])
 	}
 	sched.NormalizeAborts()
-	pb.Sort = time.Since(start)
+	pb.Sort = time.Since(start) //nezha:nondeterminism-ok wall-clock only feeds the local PhaseBreakdown timings, never the schedule
 	pb.Rescued = int(srt.rescued.Load())
 
 	schedRuns.Inc()

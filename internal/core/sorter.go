@@ -443,6 +443,7 @@ func (s *sorter) coverAborts(pairs []violation) {
 	for len(pairs) > 0 {
 		victim := types.TxID(0)
 		best := 0
+		//nezha:nondeterminism-ok max with a total (count, id) tie-break is iteration-order-insensitive
 		for id, c := range count {
 			if c > best || (c == best && c > 0 && id > victim) {
 				victim, best = id, c

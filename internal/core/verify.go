@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"maps"
 	"sort"
 
 	"github.com/nezha-dag/nezha/internal/types"
@@ -119,9 +120,9 @@ func VerifySchedule(snapshot map[types.Key][]byte, sims []*types.SimResult, sche
 	}
 
 	// Check 3: serial-replay equivalence.
-	state := make(map[types.Key][]byte, len(snapshot))
-	for k, v := range snapshot {
-		state[k] = v
+	state := maps.Clone(snapshot)
+	if state == nil {
+		state = make(map[types.Key][]byte)
 	}
 	for _, id := range sched.SerialOrder() {
 		sim := byID[id]

@@ -129,7 +129,7 @@ var (
 	armed atomic.Int32
 
 	mu     sync.Mutex
-	points map[string]*point
+	points map[Name]*point
 	rng    = rand.New(rand.NewSource(1))
 
 	mTriggers = metrics.Default().Counter("nezha_fail_triggers_total",
@@ -137,11 +137,11 @@ var (
 )
 
 // Enable arms the named site, replacing any existing spec for it.
-func Enable(name string, s Spec) {
+func Enable(name Name, s Spec) {
 	mu.Lock()
 	defer mu.Unlock()
 	if points == nil {
-		points = make(map[string]*point)
+		points = make(map[Name]*point)
 	}
 	if _, exists := points[name]; !exists {
 		armed.Add(1)
@@ -150,7 +150,7 @@ func Enable(name string, s Spec) {
 }
 
 // Disable disarms the named site; unknown names are a no-op.
-func Disable(name string) {
+func Disable(name Name) {
 	mu.Lock()
 	defer mu.Unlock()
 	if _, exists := points[name]; exists {
@@ -182,7 +182,7 @@ func Armed() int { return int(armed.Load()) }
 // Hit evaluates the named site with no tag. Disarmed sites return nil at
 // the cost of one atomic load. Armed sites may return an injected error,
 // panic with a Crash, or sleep, per their Spec.
-func Hit(name string) error {
+func Hit(name Name) error {
 	if armed.Load() == 0 {
 		return nil
 	}
@@ -191,7 +191,7 @@ func Hit(name string) error {
 
 // HitTag is Hit with a scope tag (a node or store id) matched against
 // Spec.Tag.
-func HitTag(name, tag string) error {
+func HitTag(name Name, tag string) error {
 	if armed.Load() == 0 {
 		return nil
 	}
@@ -202,7 +202,7 @@ func HitTag(name, tag string) error {
 // message, a write). ModeDrop and ModePanic/ModeError specs on a Drop site
 // all behave as a drop decision — Drop never returns an error; ModeDelay
 // sleeps and reports false.
-func Drop(name, tag string) bool {
+func Drop(name Name, tag string) bool {
 	if armed.Load() == 0 {
 		return false
 	}
@@ -214,7 +214,7 @@ var errDropped = errors.New("fail: dropped")
 
 // eval runs the slow path: match, count, trigger. Sleeps happen outside
 // the package lock so a delay spec cannot stall unrelated sites.
-func eval(name, tag string, dropSite bool) error {
+func eval(name Name, tag string, dropSite bool) error {
 	mu.Lock()
 	p, ok := points[name]
 	if !ok || (p.spec.Tag != "" && p.spec.Tag != tag) {
@@ -241,7 +241,7 @@ func eval(name, tag string, dropSite bool) error {
 	mTriggers.Inc()
 	switch spec.Mode {
 	case ModePanic:
-		panic(Crash{Name: name, Tag: tag})
+		panic(Crash{Name: string(name), Tag: tag})
 	case ModeDelay:
 		time.Sleep(spec.Delay)
 		return nil
@@ -254,8 +254,8 @@ func eval(name, tag string, dropSite bool) error {
 		fallthrough
 	default:
 		if spec.Err != nil {
-			return fmt.Errorf("%w: %s: %w", ErrInjected, name, spec.Err)
+			return fmt.Errorf("%w: %s: %w", ErrInjected, string(name), spec.Err)
 		}
-		return fmt.Errorf("%w: %s", ErrInjected, name)
+		return fmt.Errorf("%w: %s", ErrInjected, string(name))
 	}
 }

@@ -1,0 +1,39 @@
+package fail
+
+// Name identifies a failpoint site. Sites are named "<package>/<site>" in
+// lower-case (hyphens inside a segment), and every name used anywhere in
+// the tree must be one of the constants below: nezha-vet's failpoint
+// analyzer (internal/lint/failpoint) rejects call sites whose name is not
+// a registered constant, duplicate registrations, and Name constants
+// declared outside this file. Keeping the full inventory in one block is
+// the point — it is the reviewable surface of "what can chaos break".
+type Name string
+
+// The registry. One constant per site, grouped by the package that hits
+// it. Add new sites here first; the vet suite fails the build otherwise.
+const (
+	// BenchDisarmed is hit only by the root benchmark suite to measure the
+	// disarmed fast path (one atomic load).
+	BenchDisarmed Name = "bench/disarmed"
+
+	// kvstore: the durability path (internal/kvstore).
+	KVWALAppend Name = "kvstore/wal-append" // WAL record append, before the buffered write
+	KVWALSync   Name = "kvstore/wal-sync"   // WAL fsync
+	KVApply     Name = "kvstore/apply"      // memtable apply of a committed batch
+	KVFlush     Name = "kvstore/flush"      // memtable -> SSTable flush
+	KVCompact   Name = "kvstore/compact"    // SSTable compaction
+
+	// node: epoch pipeline handoffs and the persistence path (internal/node).
+	NodeSubmit        Name = "node/submit"         // transaction submission
+	NodePersist       Name = "node/persist"        // epoch persistence, before the store write
+	NodePersistDone   Name = "node/persist-done"   // epoch persistence, after the commit point
+	NodeStageValidate Name = "node/stage-validate" // handoff into the validate stage
+	NodeStageExecute  Name = "node/stage-execute"  // handoff into the execute stage
+	NodeStageSchedule Name = "node/stage-schedule" // handoff into the schedule stage
+	NodeStageCommit   Name = "node/stage-commit"   // handoff into the commit stage
+	NodeStageSerial   Name = "node/stage-serial"   // handoff into the serial-baseline stage
+
+	// p2p: the in-process network fabric (internal/p2p).
+	P2PDrop  Name = "p2p/drop"  // message delivery drop decision
+	P2PStall Name = "p2p/stall" // delivery stall (delay specs)
+)

@@ -144,6 +144,7 @@ func (j *johnson) circuit(v, s int) (bool, error) {
 
 func (j *johnson) unblock(v int) {
 	j.blocked[v] = false
+	//nezha:nondeterminism-ok drains the whole B-set and unblock is idempotent; the resulting blocked state is order-insensitive
 	for w := range j.bmap[v] {
 		delete(j.bmap[v], w)
 		if j.blocked[w] {

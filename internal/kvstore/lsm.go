@@ -188,7 +188,7 @@ func (s *LSM) Apply(b *Batch) error {
 	}
 	// The batch-commit failpoint fires before any op reaches the WAL, so
 	// an injected error is clean: nothing of the batch is durable.
-	if err := fail.HitTag("kvstore/apply", s.opts.FailTag); err != nil {
+	if err := fail.HitTag(fail.KVApply, s.opts.FailTag); err != nil { //nezha:locksafe-ok a delay here models a slow store stalling every caller; error/panic specs unwind past the deferred unlock
 		return err
 	}
 	for _, op := range b.ops {
@@ -220,7 +220,7 @@ func (s *LSM) flushLocked() error {
 	if s.mem.length == 0 {
 		return nil
 	}
-	if err := fail.HitTag("kvstore/flush", s.opts.FailTag); err != nil {
+	if err := fail.HitTag(fail.KVFlush, s.opts.FailTag); err != nil {
 		return err
 	}
 	mFlushes.Inc()
@@ -265,7 +265,7 @@ func (s *LSM) flushLocked() error {
 // tombstones (a full compaction may discard tombstones because no older
 // table remains underneath).
 func (s *LSM) compactLocked() error {
-	if err := fail.HitTag("kvstore/compact", s.opts.FailTag); err != nil {
+	if err := fail.HitTag(fail.KVCompact, s.opts.FailTag); err != nil {
 		return err
 	}
 	merged := make(map[string]sstEntry)

@@ -42,7 +42,7 @@ func openWAL(path, tag string) (*wal, error) {
 
 // append writes one record. Sync durability is left to the caller (sync).
 func (w *wal) append(op byte, key, value []byte) error {
-	if err := fail.HitTag("kvstore/wal-append", w.tag); err != nil {
+	if err := fail.HitTag(fail.KVWALAppend, w.tag); err != nil {
 		return err
 	}
 	payload := make([]byte, 0, 1+2*binary.MaxVarintLen64+len(key)+len(value))
@@ -69,7 +69,7 @@ func (w *wal) append(op byte, key, value []byte) error {
 // the reproduction trades disk-crash durability for benchmark throughput,
 // like LevelDB's default write options.)
 func (w *wal) sync() error {
-	if err := fail.HitTag("kvstore/wal-sync", w.tag); err != nil {
+	if err := fail.HitTag(fail.KVWALSync, w.tag); err != nil {
 		return err
 	}
 	return w.w.Flush()

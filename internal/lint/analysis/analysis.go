@@ -1,0 +1,80 @@
+// Package analysis is a self-contained miniature of
+// golang.org/x/tools/go/analysis: just enough framework to write the
+// nezha-vet analyzers (internal/lint/...) without a module dependency on
+// x/tools, which this repo deliberately avoids (zero third-party deps).
+//
+// The API mirrors the x/tools types field-for-field where we use them —
+// Analyzer, Pass, Diagnostic, SuggestedFix, TextEdit — so migrating an
+// analyzer onto the real framework later is a change of import path, not
+// a rewrite. What is intentionally missing: Facts, Requires/ResultOf
+// (no analyzer composition), and flags per analyzer. Loading is done by
+// shelling out to `go list -export` and type-checking each target package
+// from source against the build cache's export data (see Load).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the short command-line identifier ("detmap").
+	Name string
+	// Doc is the one-paragraph description shown by nezha-vet -list; the
+	// full invariant lives in the analyzer package's doc.go.
+	Doc string
+	// Run applies the check to one package. The return value is unused
+	// (kept for x/tools signature compatibility); findings are delivered
+	// through pass.Report.
+	Run func(*Pass) (any, error)
+}
+
+// Pass hands an Analyzer one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// FileFor returns the syntax tree containing pos, or nil.
+func (p *Pass) FileFor(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	End     token.Pos // optional
+	Message string
+	// SuggestedFixes are mechanical rewrites nezha-vet -fix can apply.
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is one alternative mechanical repair for a diagnostic.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}

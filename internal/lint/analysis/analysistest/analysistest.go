@@ -1,0 +1,319 @@
+// Package analysistest runs an analyzer over GOPATH-style testdata
+// packages and checks its diagnostics against `// want` expectations, the
+// same convention as golang.org/x/tools/go/analysis/analysistest:
+//
+//	for k := range m { // want `unordered map iteration`
+//
+// A want comment holds one or more backquoted regexps and applies to
+// diagnostics reported on its own line. Test packages live under
+// testdata/src/<importpath>/ and may import each other (resolved from
+// source) or anything the surrounding module can build — stdlib and
+// module-internal packages resolve through `go list -export`, so tests
+// need no network and no vendored dependencies.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/nezha-dag/nezha/internal/lint/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory, the conventional root for Run's packages.
+func TestData() string {
+	d, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Run loads each testdata package, applies the analyzer, and reports any
+// mismatch between diagnostics and `// want` expectations through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	run(t, testdata, a, false, pkgPaths...)
+}
+
+// RunWithSuggestedFixes is Run plus golden-file checking: after the
+// expectation pass, every file that received suggested fixes is patched
+// in memory and compared byte-for-byte against <file>.golden.
+func RunWithSuggestedFixes(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	run(t, testdata, a, true, pkgPaths...)
+}
+
+func run(t *testing.T, testdata string, a *analysis.Analyzer, fixes bool, pkgPaths ...string) {
+	t.Helper()
+	r := newResolver(testdata)
+	for _, path := range pkgPaths {
+		pkg, err := r.loadSource(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      r.fset,
+			Files:     pkg.files,
+			Pkg:       pkg.types,
+			TypesInfo: pkg.info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("%s: analyzer failed: %v", path, err)
+		}
+		checkExpectations(t, r.fset, pkg.files, diags)
+		if fixes {
+			checkGolden(t, r.fset, diags)
+		}
+	}
+}
+
+// expectation is one backquoted pattern from a want comment.
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+// checkExpectations diffs diagnostics against want comments.
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(rest, -1) {
+					rx, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", pos, m[1], err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.rx.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}
+
+// checkGolden applies each file's suggested fixes and compares the result
+// with its .golden sibling.
+func checkGolden(t *testing.T, fset *token.FileSet, diags []analysis.Diagnostic) {
+	t.Helper()
+	type edit struct {
+		start, end int
+		text       []byte
+	}
+	byFile := map[string][]edit{}
+	for _, d := range diags {
+		for _, sf := range d.SuggestedFixes {
+			for _, te := range sf.TextEdits {
+				p := fset.Position(te.Pos)
+				byFile[p.Filename] = append(byFile[p.Filename], edit{p.Offset, fset.Position(te.End).Offset, te.NewText})
+			}
+		}
+	}
+	for name, edits := range byFile {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Errorf("reading %s: %v", name, err)
+			continue
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		for _, e := range edits {
+			src = append(src[:e.start], append(append([]byte{}, e.text...), src[e.end:]...)...)
+		}
+		golden, err := os.ReadFile(name + ".golden")
+		if err != nil {
+			t.Errorf("%s has suggested fixes but no golden file: %v", name, err)
+			continue
+		}
+		if !bytes.Equal(src, golden) {
+			t.Errorf("%s: fixed output differs from %s.golden:\n-- got --\n%s\n-- want --\n%s", name, name, src, golden)
+		}
+	}
+}
+
+// resolver loads testdata packages from source and everything else from
+// the surrounding module's build cache via `go list -export`.
+type resolver struct {
+	testdata string
+	fset     *token.FileSet
+	gc       types.Importer
+
+	mu      sync.Mutex
+	exports map[string]string // import path -> export data file
+	source  map[string]*sourcePkg
+}
+
+type sourcePkg struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+func newResolver(testdata string) *resolver {
+	r := &resolver{
+		testdata: testdata,
+		fset:     token.NewFileSet(),
+		exports:  map[string]string{},
+		source:   map[string]*sourcePkg{},
+	}
+	r.gc = importer.ForCompiler(r.fset, "gc", func(path string) (io.ReadCloser, error) {
+		r.mu.Lock()
+		p, ok := r.exports[path]
+		r.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(p)
+	})
+	return r
+}
+
+// Import implements types.Importer for the package under test: sibling
+// testdata packages come from source, the rest from export data.
+func (r *resolver) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(r.testdata, "src", path); isDir(dir) {
+		p, err := r.loadSource(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.types, nil
+	}
+	if err := r.ensureExport(path); err != nil {
+		return nil, err
+	}
+	return r.gc.Import(path)
+}
+
+// ensureExport makes sure export data for path (and its dependencies) is
+// in the lookup map, shelling out to go list on first need.
+func (r *resolver) ensureExport(path string) error {
+	r.mu.Lock()
+	_, ok := r.exports[path]
+	r.mu.Unlock()
+	if ok {
+		return nil
+	}
+	cmd := exec.Command("go", "list", "-export", "-json=ImportPath,Export", "-deps", path)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.String())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp struct{ ImportPath, Export string }
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		if lp.Export != "" {
+			r.exports[lp.ImportPath] = lp.Export
+		}
+	}
+	if _, ok := r.exports[path]; !ok {
+		return fmt.Errorf("go list produced no export data for %q", path)
+	}
+	return nil
+}
+
+// loadSource parses and type-checks testdata/src/<path> (cached).
+func (r *resolver) loadSource(path string) (*sourcePkg, error) {
+	r.mu.Lock()
+	cached, ok := r.source[path]
+	r.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	dir := filepath.Join(r.testdata, "src", path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(r.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: r}
+	tpkg, err := conf.Check(path, r.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("%s: typecheck: %v", path, err)
+	}
+	p := &sourcePkg{files: files, types: tpkg, info: info}
+	r.mu.Lock()
+	r.source[path] = p
+	r.mu.Unlock()
+	return p, nil
+}
+
+func isDir(p string) bool {
+	fi, err := os.Stat(p)
+	return err == nil && fi.IsDir()
+}

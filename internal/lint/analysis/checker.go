@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Finding pairs a diagnostic with where it came from.
+type Finding struct {
+	Analyzer *Analyzer
+	Package  *Package
+	Diagnostic
+}
+
+// Run applies every analyzer to every package and returns the findings
+// sorted by file position. Analyzer errors (not findings — crashes) are
+// returned as an error.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d Diagnostic) {
+				findings = append(findings, Finding{Analyzer: a, Package: pkg, Diagnostic: d})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.SliceStable(findings, func(i, j int) bool {
+		pi, pj := pkgs[0].Fset.Position(findings[i].Pos), pkgs[0].Fset.Position(findings[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return findings, nil
+}
+
+// Main is the multichecker driver behind cmd/nezha-vet: parse flags, load
+// the named packages, run the analyzers, print findings GNU-style, and
+// exit 0 (clean), 1 (findings), or 2 (usage or load failure).
+func Main(analyzers ...*Analyzer) {
+	fs := flag.NewFlagSet("nezha-vet", flag.ExitOnError)
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	fix := fs.Bool("fix", false, "apply suggested fixes to the source tree")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: nezha-vet [flags] [package patterns]\n\n"+
+			"Runs the repo-specific invariant analyzers (see internal/lint) over the\n"+
+			"named packages (default ./...). Exits 1 if any invariant is violated.\n\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return
+	}
+	if *only != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var sel []*Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				sel = append(sel, a)
+				delete(want, a.Name)
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "nezha-vet: unknown analyzer %q\n", name)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	pkgs, err := Load("", fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nezha-vet: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nezha-vet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Printf("%s: [%s] %s\n", f.Package.Fset.Position(f.Pos), f.Analyzer.Name, f.Message)
+		for _, sf := range f.SuggestedFixes {
+			fmt.Printf("\tfix available: %s (nezha-vet -fix)\n", sf.Message)
+		}
+	}
+	if *fix {
+		if err := applyFixes(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "nezha-vet: applying fixes: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// applyFixes applies the first suggested fix of every finding, rightmost
+// edit first so earlier offsets stay valid. Overlapping edits abort.
+func applyFixes(findings []Finding) error {
+	type edit struct {
+		start, end int
+		text       []byte
+	}
+	byFile := map[string][]edit{}
+	var fset *token.FileSet
+	for _, f := range findings {
+		if len(f.SuggestedFixes) == 0 {
+			continue
+		}
+		fset = f.Package.Fset
+		for _, te := range f.SuggestedFixes[0].TextEdits {
+			start, end := fset.Position(te.Pos), fset.Position(te.End)
+			if start.Filename != end.Filename {
+				return fmt.Errorf("edit spans files (%s, %s)", start.Filename, end.Filename)
+			}
+			byFile[start.Filename] = append(byFile[start.Filename], edit{start.Offset, end.Offset, te.NewText})
+		}
+	}
+	for name, edits := range byFile {
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return err
+		}
+		prev := len(src) + 1
+		for _, e := range edits {
+			if e.end > prev {
+				return fmt.Errorf("%s: overlapping suggested fixes", name)
+			}
+			prev = e.start
+			src = append(src[:e.start], append(append([]byte{}, e.text...), src[e.end:]...)...)
+		}
+		if err := os.WriteFile(name, src, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%s: fixed\n", name)
+	}
+	return nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,206 @@
+package detmap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/nezha-dag/nezha/internal/lint"
+	"github.com/nezha-dag/nezha/internal/lint/analysis"
+)
+
+// Analyzer flags unordered map iteration and multi-way selects in
+// determinism-critical packages. See doc.go for the invariant.
+var Analyzer = &analysis.Analyzer{
+	Name: "detmap",
+	Doc:  "flag unordered map ranges and multi-way selects in determinism-critical packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lint.IsCritical(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, file, fn.Body)
+		}
+	}
+	return nil, nil
+}
+
+// checkFunc walks one function body (FuncLits included: a sort inside a
+// closure can only order what the closure collected).
+func checkFunc(pass *analysis.Pass, file *ast.File, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if !unorderedRange(pass, n) {
+				return true
+			}
+			if annotated(pass, file, n.Pos()) {
+				return true
+			}
+			if feedsSort(pass, body, n) {
+				return true
+			}
+			pass.Reportf(n.Pos(), "unordered map iteration in determinism-critical package %s; collect and sort the keys, or justify with //nezha:nondeterminism-ok <reason>", pass.Pkg.Path())
+		case *ast.SelectStmt:
+			ready := 0
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					ready++
+				}
+			}
+			if ready < 2 {
+				return true
+			}
+			if annotated(pass, file, n.Pos()) {
+				return true
+			}
+			pass.Reportf(n.Pos(), "select with %d communication cases picks one at random in determinism-critical package %s; use a deterministic drain order, or justify with //nezha:nondeterminism-ok <reason>", ready, pass.Pkg.Path())
+		}
+		return true
+	})
+}
+
+// annotated handles the escape hatch, reporting an annotation whose reason
+// is missing.
+func annotated(pass *analysis.Pass, file *ast.File, pos token.Pos) bool {
+	ann := lint.FindAnnotation(pass.Fset, file, pos, "nondeterminism")
+	if !ann.Found {
+		return false
+	}
+	if ann.Reason == "" {
+		pass.Reportf(ann.Pos, "nezha:nondeterminism-ok annotation needs a reason")
+	}
+	return true
+}
+
+// unorderedRange reports whether rs iterates in runtime-randomized order:
+// a map, or a maps.Keys/Values/All iterator over one.
+func unorderedRange(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t != nil {
+		if _, ok := t.Underlying().(*types.Map); ok {
+			return true
+		}
+	}
+	call, ok := rs.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pkg.Imported().Path() != "maps" {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Keys", "Values", "All":
+		return true
+	}
+	return false
+}
+
+// feedsSort reports whether the loop collects into something that is
+// sorted later in the same function: the canonical deterministic idiom.
+func feedsSort(pass *analysis.Pass, body *ast.BlockStmt, rs *ast.RangeStmt) bool {
+	// Collectors: objects appended to or index-assigned inside the body.
+	collectors := map[types.Object]bool{}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if idx, ok := lhs.(*ast.IndexExpr); ok {
+					addCollector(pass, collectors, idx.X)
+				}
+				// x = append(x, ...)
+				if i < len(n.Rhs) {
+					if call, ok := n.Rhs[i].(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+							addCollector(pass, collectors, lhs)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(collectors) == 0 {
+		return false
+	}
+	// A sort/slices call after the loop naming any collector.
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sorted || n == nil || n.End() <= rs.End() {
+			return !sorted
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pkg.Imported().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if aid, ok := a.(*ast.Ident); ok && collectors[pass.TypesInfo.Uses[aid]] {
+					sorted = true
+				}
+				return !sorted
+			})
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+// addCollector records the root object of an assignable expression.
+func addCollector(pass *analysis.Pass, set map[types.Object]bool, e ast.Expr) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil {
+				set[obj] = true
+			} else if obj := pass.TypesInfo.Defs[x]; obj != nil {
+				set[obj] = true
+			}
+			return
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return
+		}
+	}
+}

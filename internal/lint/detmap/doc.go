@@ -1,0 +1,27 @@
+// Package detmap flags nondeterministic iteration in determinism-critical
+// packages (lint.CriticalPackages): Nezha's safety argument is that every
+// replica derives a byte-identical schedule from the same snapshot
+// (Algorithms 1–2 of the paper), and Go's two ambient sources of
+// per-process iteration order — map ranges and multi-way selects — are
+// exactly what breaks that silently.
+//
+// Flagged, in critical packages only:
+//
+//   - `for ... := range m` where m is a map, and ranges over
+//     maps.Keys/maps.Values/maps.All iterators, unless the loop provably
+//     feeds a sort: some slice or map collector the body appends to or
+//     index-assigns is later (in the same function, after the loop) passed
+//     to a sort or slices call. That is the canonical deterministic idiom:
+//     collect, sort, then use.
+//   - `select` with two or more ready communication cases: the runtime
+//     picks uniformly at random.
+//
+// Escape hatch, for iteration that is provably order-insensitive (e.g.
+// accumulation into a commutative counter, or filling distinct slots of a
+// pre-sized slice):
+//
+//	for _, v := range m { //nezha:nondeterminism-ok sum is commutative
+//
+// The annotation must carry a reason; an empty reason is itself reported.
+// The grammar is documented in internal/lint/doc.go and DESIGN.md.
+package detmap

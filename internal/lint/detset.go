@@ -1,0 +1,34 @@
+package lint
+
+import "strings"
+
+// CriticalPackages are the determinism-critical packages: every replica
+// must derive byte-identical results from them given the same input, so
+// the detmap and detsource analyzers hold them to a stricter standard
+// (no unordered iteration, no ambient entropy). Entries are import-path
+// suffixes matched on a path-segment boundary.
+//
+// internal/check is here because the differential harness's generator and
+// driver must replay bit-exactly from a seed — a nondeterministic test
+// harness cannot minimize its own failures.
+//
+// Tests may append their testdata package paths.
+var CriticalPackages = []string{
+	"internal/core",
+	"internal/cg",
+	"internal/graph",
+	"internal/mpt",
+	"internal/rlp",
+	"internal/check",
+}
+
+// IsCritical reports whether the import path names a determinism-critical
+// package.
+func IsCritical(path string) bool {
+	for _, s := range CriticalPackages {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,77 @@
+package detsource
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/nezha-dag/nezha/internal/lint"
+	"github.com/nezha-dag/nezha/internal/lint/analysis"
+)
+
+// Analyzer forbids ambient entropy (clock, global RNG, environment) in
+// determinism-critical packages. See doc.go for the invariant.
+var Analyzer = &analysis.Analyzer{
+	Name: "detsource",
+	Doc:  "forbid time.Now, global math/rand, and os.Getenv in determinism-critical packages",
+	Run:  run,
+}
+
+// forbidden maps package path -> function names -> what to say. An empty
+// set means "every package-level function except the seeded constructors".
+var forbidden = map[string]map[string]bool{
+	"time": {"Now": true, "Since": true, "Until": true},
+	"os":   {"Getenv": true, "LookupEnv": true, "Environ": true},
+}
+
+// randConstructors are the math/rand{,/v2} package-level functions that
+// build seeded generators rather than drawing from the global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lint.IsCritical(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path, name := pkg.Imported().Path(), sel.Sel.Name
+			bad := false
+			switch path {
+			case "math/rand", "math/rand/v2":
+				// Only functions draw from the global source; referencing
+				// types (rand.Rand, rand.Source) is fine.
+				if _, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func); isFunc && !randConstructors[name] {
+					bad = true
+				}
+			default:
+				bad = forbidden[path][name]
+			}
+			if !bad {
+				return true
+			}
+			ann := lint.FindAnnotation(pass.Fset, file, sel.Pos(), "nondeterminism")
+			if ann.Found {
+				if ann.Reason == "" {
+					pass.Reportf(ann.Pos, "nezha:nondeterminism-ok annotation needs a reason")
+				}
+				return true
+			}
+			pass.Reportf(sel.Pos(), "%s.%s in determinism-critical package %s; thread a seeded source or clock through config, or justify with //nezha:nondeterminism-ok <reason>", pkg.Imported().Name(), name, pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,15 @@
+package detsource_test
+
+import (
+	"testing"
+
+	"github.com/nezha-dag/nezha/internal/lint"
+	"github.com/nezha-dag/nezha/internal/lint/analysis/analysistest"
+	"github.com/nezha-dag/nezha/internal/lint/detsource"
+)
+
+func TestDetsource(t *testing.T) {
+	// Package a is critical (flagged), package b is not (silent).
+	lint.CriticalPackages = append(lint.CriticalPackages, "a")
+	analysistest.Run(t, analysistest.TestData(), detsource.Analyzer, "a", "b")
+}

@@ -1,0 +1,25 @@
+// Package detsource forbids ambient entropy in determinism-critical
+// packages (lint.CriticalPackages). A replica's schedule must be a pure
+// function of its input snapshot; wall clocks, the process-global random
+// source, and the environment are exactly the inputs that differ between
+// replicas.
+//
+// Flagged, in critical packages only:
+//
+//   - time.Now (and time.Since/time.Until, which read the clock)
+//   - math/rand and math/rand/v2 package-level functions drawing from the
+//     global source (rand.Intn, rand.Float64, rand.Shuffle, ...).
+//     Constructing a seeded generator is fine: rand.New, rand.NewSource,
+//     rand.NewZipf, rand.NewPCG, rand.NewChaCha8 are allowed, and methods
+//     on a *rand.Rand value are never package-level selectors, so the
+//     seeded-RNG-threaded-from-config idiom passes untouched.
+//   - os.Getenv, os.LookupEnv, os.Environ
+//
+// Escape hatch, for reads that provably never feed the schedule (e.g.
+// phase timing that only fills the local PhaseBreakdown):
+//
+//	start := time.Now() //nezha:nondeterminism-ok timing only feeds PhaseBreakdown
+//
+// The annotation shares the detmap grammar (internal/lint/doc.go); the
+// reason is mandatory.
+package detsource

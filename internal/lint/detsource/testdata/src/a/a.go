@@ -1,0 +1,33 @@
+// Package a is detsource's positive corpus: appended to
+// lint.CriticalPackages by the test, so ambient entropy here is flagged.
+package a
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func clocks() {
+	_ = time.Now() // want `time.Now in determinism-critical package a`
+	start := time.Unix(0, 0)
+	_ = time.Since(start) // want `time.Since in determinism-critical`
+}
+
+func globals() {
+	_ = rand.Intn(4)       // want `rand.Intn in determinism-critical`
+	_ = os.Getenv("NEZHA") // want `os.Getenv in determinism-critical`
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // constructors build seeded sources: fine
+	return r.Intn(4)                    // method on a threaded *rand.Rand: fine
+}
+
+func fixedTime() time.Time {
+	return time.Unix(42, 0) // not a clock read
+}
+
+func annotated() time.Time {
+	return time.Now() //nezha:nondeterminism-ok wall clock only feeds local timing stats, never the schedule
+}

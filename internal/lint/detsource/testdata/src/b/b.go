@@ -1,0 +1,13 @@
+// Package b is detsource's negative corpus: not determinism-critical, so
+// ambient entropy is allowed here.
+package b
+
+import (
+	"math/rand"
+	"time"
+)
+
+func free() int {
+	_ = time.Now()
+	return rand.Intn(4)
+}

@@ -1,0 +1,27 @@
+// Package failpoint enforces the failpoint registry discipline around
+// internal/fail: the chaos harness can only break what it can name, so
+// the full inventory of sites must live in one reviewable file and every
+// call site must use it.
+//
+// Rules:
+//
+//   - Inside the fail package: every fail.Name constant must be declared
+//     in names.go (the central registry), match the site grammar
+//     ^[a-z0-9-]+(/[a-z0-9-]+)*$, and be unique — two constants with one
+//     string value would silently alias two sites.
+//   - Everywhere else: the name passed to fail.Hit, fail.HitTag,
+//     fail.Drop, fail.Enable, and fail.Disable must be a registered
+//     constant (or a compile-time string equal to one). Non-constant
+//     names are allowed only when already typed fail.Name — and every
+//     fail.Name(...) conversion from a literal is checked against the
+//     registry, so a dynamic name can only be laundered from registered
+//     values.
+//   - Armed-only helpers (fail.Enable, fail.Disable, fail.Reset,
+//     fail.Seed) must not appear outside _test.go files or the chaos
+//     harness (internal/chaos): production code hits failpoints, it never
+//     arms them. nezha-vet analyzes non-test files, so _test.go usage is
+//     implicitly allowed.
+//
+// There is deliberately no annotation escape hatch: an unregistered
+// failpoint is never benign — registering it is a one-line diff.
+package failpoint

@@ -1,0 +1,202 @@
+package failpoint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"github.com/nezha-dag/nezha/internal/lint/analysis"
+)
+
+// Analyzer enforces the failpoint registry discipline. See doc.go.
+var Analyzer = &analysis.Analyzer{
+	Name: "failpoint",
+	Doc:  "require registered fail.Name constants at failpoint sites and confine arming helpers",
+	Run:  run,
+}
+
+// nameArgFuncs are the fail package functions whose first argument is a
+// site name.
+var nameArgFuncs = map[string]bool{
+	"Hit": true, "HitTag": true, "Drop": true, "Enable": true, "Disable": true,
+}
+
+// armedOnly are the helpers production code must never call.
+var armedOnly = map[string]bool{
+	"Enable": true, "Disable": true, "Reset": true, "Seed": true,
+}
+
+// nameRE is the site grammar: slash-separated lower-case segments.
+var nameRE = regexp.MustCompile(`^[a-z0-9-]+(/[a-z0-9-]+)*$`)
+
+// RegistryFile is where Name constants must live inside the fail package.
+const RegistryFile = "names.go"
+
+func run(pass *analysis.Pass) (any, error) {
+	if isFailPkg(pass.Pkg.Path()) && pass.Pkg.Name() == "fail" {
+		checkRegistry(pass)
+		return nil, nil
+	}
+	failPkg := importedFailPkg(pass.Pkg)
+	if failPkg == nil {
+		return nil, nil
+	}
+	registered := registeredNames(failPkg)
+	armingAllowed := isChaosPkg(pass.Pkg.Path())
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() != failPkg {
+				return true
+			}
+			switch o := obj.(type) {
+			case *types.TypeName:
+				// A fail.Name(x) conversion: the laundering point for
+				// dynamic names — x must be a registered compile-time value.
+				if o.Name() != "Name" || len(call.Args) != 1 {
+					return true
+				}
+				checkNameExpr(pass, registered, call.Args[0], true)
+			case *types.Func:
+				if armedOnly[o.Name()] && !armingAllowed {
+					pass.Reportf(call.Pos(), "armed-only helper fail.%s outside _test.go and internal/chaos; production code hits failpoints, it never arms them", o.Name())
+				}
+				if nameArgFuncs[o.Name()] && len(call.Args) > 0 {
+					checkNameExpr(pass, registered, call.Args[0], false)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkNameExpr validates one site-name expression. conversion marks a
+// fail.Name(x) argument, where a non-constant x is itself the violation.
+func checkNameExpr(pass *analysis.Pass, registered map[string]string, e ast.Expr, conversion bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		v := constant.StringVal(tv.Value)
+		if _, ok := registered[v]; !ok {
+			pass.Reportf(e.Pos(), "unregistered failpoint name %q; declare it as a fail.Name constant in internal/fail/%s", v, RegistryFile)
+		}
+		return
+	}
+	if conversion {
+		pass.Reportf(e.Pos(), "fail.Name conversion from a non-constant; use a registered constant from internal/fail/%s", RegistryFile)
+		return
+	}
+	// Not a compile-time constant: only acceptable when the expression is
+	// already typed fail.Name (its construction sites are checked above).
+	if named, ok := tv.Type.(*types.Named); ok && named.Obj().Name() == "Name" && named.Obj().Pkg() != nil && isFailPkg(named.Obj().Pkg().Path()) {
+		return
+	}
+	pass.Reportf(e.Pos(), "failpoint name must be a registered fail.Name constant from internal/fail/%s, not a dynamic %s", RegistryFile, tv.Type)
+}
+
+// checkRegistry runs inside the fail package: Name constants live in
+// names.go, match the grammar, and are unique.
+func checkRegistry(pass *analysis.Pass) {
+	type decl struct {
+		name  string
+		value string
+		file  string
+		pos   ast.Node
+	}
+	var decls []decl
+	for _, file := range pass.Files {
+		base := filepath.Base(pass.Fset.Position(file.Package).Filename)
+		for _, d := range file.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, id := range vs.Names {
+					c, ok := pass.TypesInfo.Defs[id].(*types.Const)
+					if !ok {
+						continue
+					}
+					named, ok := c.Type().(*types.Named)
+					if !ok || named.Obj().Name() != "Name" || named.Obj().Pkg() != pass.Pkg {
+						continue
+					}
+					decls = append(decls, decl{
+						name:  id.Name,
+						value: constant.StringVal(c.Val()),
+						file:  base,
+						pos:   id,
+					})
+				}
+			}
+		}
+	}
+	sort.SliceStable(decls, func(i, j int) bool { return decls[i].pos.Pos() < decls[j].pos.Pos() })
+	byValue := map[string]string{}
+	for _, d := range decls {
+		if d.file != RegistryFile {
+			pass.Reportf(d.pos.Pos(), "fail.Name constant %s declared in %s; the registry is %s", d.name, d.file, RegistryFile)
+		}
+		if !nameRE.MatchString(d.value) {
+			pass.Reportf(d.pos.Pos(), "failpoint name %q does not match ^[a-z0-9-]+(/[a-z0-9-]+)*$", d.value)
+		}
+		if prev, dup := byValue[d.value]; dup {
+			pass.Reportf(d.pos.Pos(), "duplicate failpoint name %q (already registered as %s)", d.value, prev)
+		} else {
+			byValue[d.value] = d.name
+		}
+	}
+}
+
+// registeredNames reads the registry out of the imported fail package's
+// scope (export data carries constant values).
+func registeredNames(failPkg *types.Package) map[string]string {
+	out := map[string]string{}
+	scope := failPkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		named, ok := c.Type().(*types.Named)
+		if !ok || named.Obj().Name() != "Name" || named.Obj().Pkg() != failPkg {
+			continue
+		}
+		out[constant.StringVal(c.Val())] = name
+	}
+	return out
+}
+
+// importedFailPkg finds the directly imported fail package, if any.
+func importedFailPkg(pkg *types.Package) *types.Package {
+	for _, imp := range pkg.Imports() {
+		if imp.Name() == "fail" && isFailPkg(imp.Path()) {
+			return imp
+		}
+	}
+	return nil
+}
+
+func isFailPkg(path string) bool {
+	return path == "fail" || strings.HasSuffix(path, "/fail")
+}
+
+func isChaosPkg(path string) bool {
+	return path == "chaos" || strings.HasSuffix(path, "/chaos")
+}

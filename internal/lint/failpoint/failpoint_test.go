@@ -1,0 +1,17 @@
+package failpoint_test
+
+import (
+	"testing"
+
+	"github.com/nezha-dag/nezha/internal/lint/analysis/analysistest"
+	"github.com/nezha-dag/nezha/internal/lint/failpoint"
+)
+
+func TestFailpoint(t *testing.T) {
+	// fail:         a clean registry (negative case for checkRegistry).
+	// failbad/fail: every registry violation.
+	// a:            production call sites, good and bad.
+	// chaos:        arming allowed, name discipline still enforced.
+	analysistest.Run(t, analysistest.TestData(), failpoint.Analyzer,
+		"fail", "failbad/fail", "a", "chaos")
+}

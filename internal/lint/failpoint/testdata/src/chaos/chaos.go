@@ -1,0 +1,12 @@
+// Package chaos may arm failpoints (path suffix "chaos"), but names must
+// still come from the registry.
+package chaos
+
+import "fail"
+
+func arm() {
+	fail.Enable(fail.Registered, fail.Spec{})
+	fail.Seed(1)
+	fail.Disable(fail.Registered)
+	fail.Enable("pkg/unknown", fail.Spec{}) // want `unregistered failpoint name "pkg/unknown"`
+}

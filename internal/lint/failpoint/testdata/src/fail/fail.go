@@ -1,0 +1,14 @@
+// Package fail is a hermetic stub of internal/fail: same exported shape,
+// no behavior. The analyzer keys on the package name and path suffix, so
+// the tests never depend on the real module.
+package fail
+
+type Spec struct{ Mode int }
+
+func Hit(name Name) error                { return nil }
+func HitTag(name Name, tag string) error { return nil }
+func Drop(name Name, tag string) bool    { return false }
+func Enable(name Name, s Spec)           {}
+func Disable(name Name)                  {}
+func Reset()                             {}
+func Seed(seed int64)                    {}

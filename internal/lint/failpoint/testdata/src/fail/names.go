@@ -1,0 +1,9 @@
+package fail
+
+// Name is a registered failpoint site; the stub mirrors internal/fail.
+type Name string
+
+const (
+	Registered Name = "pkg/registered"
+	Other      Name = "pkg/other"
+)

@@ -1,0 +1,12 @@
+// Package fail (under failbad/) is the registry-violation corpus: every
+// way a Name declaration can break the rules.
+package fail
+
+type Name string
+
+const (
+	GoodName Name = "pkg/good"
+	DupName  Name = "pkg/good" // want `duplicate failpoint name "pkg/good" \(already registered as GoodName\)`
+	BadCase  Name = "Pkg/Bad"  // want `does not match`
+	BadChars Name = "pkg_bad"  // want `does not match`
+)

@@ -1,0 +1,3 @@
+package fail
+
+const Stray Name = "pkg/stray" // want `fail.Name constant Stray declared in stray.go; the registry is names.go`

@@ -1,0 +1,29 @@
+// Package locksafe flags mutexes held across failpoint sites and channel
+// sends — the deadlock-under-failpoint hazard class. A disarmed failpoint
+// is one atomic load, so holding a lock across it looks free; but arm the
+// site with a delay spec and the lock is held for the whole injected
+// sleep (stalling every other path into the mutex), and arm it with a
+// panic spec and the mutex is abandoned locked unless every caller
+// recovers. Channel sends under a lock are the same shape: the send
+// blocks on a slow consumer while the lock starves everyone else. -race
+// sees none of this, because nothing races — it just wedges.
+//
+// The check is intra-procedural and lexical: within one function body
+// (closures scanned separately, with no held locks assumed), a
+// `x.Lock()` / `x.RLock()` statement marks x held until a matching
+// `x.Unlock()` / `x.RUnlock()` statement; `defer x.Unlock()` marks x
+// held to the end of the function. While anything is held, calls to
+// fail.Hit / fail.HitTag / fail.Drop and channel-send statements are
+// reported. Branches are scanned in source order, so an unlock in one
+// arm clears the lock for the rest of the scan — conservative in the
+// direction of missing exotic flows, not of false alarms.
+//
+// Escape hatch, for sites where holding the lock through the failpoint
+// is the simulated behavior (e.g. a WAL delay modeling a slow fsync that
+// really does block other appenders):
+//
+//	if err := fail.HitTag(fail.KVWALSync, w.tag); err != nil { //nezha:locksafe-ok delay models a slow fsync holding the append lock
+//
+// The reason is mandatory; the grammar is shared with the other
+// annotations (internal/lint/doc.go).
+package locksafe

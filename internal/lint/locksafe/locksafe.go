@@ -1,0 +1,131 @@
+package locksafe
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/nezha-dag/nezha/internal/lint"
+	"github.com/nezha-dag/nezha/internal/lint/analysis"
+)
+
+// Analyzer flags locks held across failpoint sites and channel sends.
+// See doc.go for the hazard model and the scan's limits.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc:  "flag mutexes held across failpoint sites and channel sends",
+	Run:  run,
+}
+
+// failSiteFuncs are the failpoint entry points a production path hits.
+var failSiteFuncs = map[string]bool{"Hit": true, "HitTag": true, "Drop": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	if isFailPkg(pass.Pkg.Path()) {
+		// The substrate manages its own mutex around its own sites.
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					scanBody(pass, file, n.Body)
+				}
+			case *ast.FuncLit:
+				scanBody(pass, file, n.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// scanBody walks one function body in source order tracking held locks.
+// Nested FuncLits are skipped (they run later, under their own scan).
+func scanBody(pass *analysis.Pass, file *ast.File, body *ast.BlockStmt) {
+	var held []string // lock expressions, innermost last
+	unhold := func(expr string) {
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i] == expr {
+				held = append(held[:i], held[i+1:]...)
+				return
+			}
+		}
+	}
+	report := func(n ast.Node, what string) {
+		ann := lint.FindAnnotation(pass.Fset, file, n.Pos(), "locksafe")
+		if ann.Found {
+			if ann.Reason == "" {
+				pass.Reportf(ann.Pos, "nezha:locksafe-ok annotation needs a reason")
+			}
+			return
+		}
+		pass.Reportf(n.Pos(), "%s while holding %s; an armed delay spec stalls the lock and a panic spec abandons it — release first, or justify with //nezha:locksafe-ok <reason>", what, strings.Join(held, ", "))
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // scanned separately
+		case *ast.DeferStmt:
+			// defer x.Unlock() keeps x held for the rest of the scan;
+			// don't let the traversal treat it as an immediate unlock.
+			return false
+		case *ast.ExprStmt:
+			if expr, kind := lockOp(n.X); kind != "" {
+				if kind == "lock" {
+					held = append(held, expr)
+				} else {
+					unhold(expr)
+				}
+				return false
+			}
+		case *ast.SendStmt:
+			if len(held) > 0 {
+				report(n, "channel send")
+			}
+		case *ast.CallExpr:
+			if name := failCallName(pass, n); name != "" && len(held) > 0 {
+				report(n, "failpoint fail."+name+" hit")
+			}
+		}
+		return true
+	})
+}
+
+// lockOp classifies e as a lock ("lock") or unlock ("unlock") method call
+// and returns the locked expression's source form.
+func lockOp(e ast.Expr) (expr, kind string) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), "lock"
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), "unlock"
+	}
+	return "", ""
+}
+
+// failCallName returns the called fail-package site function, if any.
+func failCallName(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || !isFailPkg(fn.Pkg().Path()) || !failSiteFuncs[fn.Name()] {
+		return ""
+	}
+	return fn.Name()
+}
+
+func isFailPkg(path string) bool {
+	return path == "fail" || strings.HasSuffix(path, "/fail")
+}

@@ -1,0 +1,12 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"github.com/nezha-dag/nezha/internal/lint/analysis/analysistest"
+	"github.com/nezha-dag/nezha/internal/lint/locksafe"
+)
+
+func TestLocksafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), locksafe.Analyzer, "a")
+}

@@ -1,0 +1,26 @@
+// Package metricshygiene keeps the internal/metrics surface scrapeable
+// and cheap. The registry deduplicates by name at runtime, so a bad name
+// or a hot-path construction does not crash anything — it just produces
+// an unscrapeable series or a per-epoch map lookup + lock that no
+// benchmark will ever attribute correctly. Those are exactly the defects
+// reviews miss, hence an analyzer.
+//
+// Rules, at every call of Registry.Counter / Registry.Gauge /
+// Registry.Histogram (however the registry is reached — Default() or a
+// local instance):
+//
+//   - The metric name must be a compile-time constant: dynamic names
+//     defeat grepping from a Grafana panel back to the line that emits
+//     the series.
+//   - The name must match ^nezha_[a-z0-9_]+$ — the Prometheus-safe subset
+//     the whole existing fleet of dashboards assumes. A literal that only
+//     violates the spelling (upper case, hyphens, missing prefix) gets a
+//     mechanical suggested fix (nezha-vet -fix applies it).
+//   - No construction lexically inside a for/range loop: constructors
+//     take the registry lock and hash the name; hoist the handle out and
+//     reuse it. (Construction in per-epoch helper functions is the same
+//     defect but is not detected — this is a lexical check only.)
+//
+// There is no annotation escape hatch: renaming a metric or hoisting a
+// constructor is always the smaller diff.
+package metricshygiene

@@ -1,0 +1,142 @@
+package metricshygiene
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"github.com/nezha-dag/nezha/internal/lint/analysis"
+)
+
+// Analyzer enforces metric naming and construction hygiene. See doc.go.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricshygiene",
+	Doc:  "require literal nezha_[a-z0-9_]+ metric names and no constructors inside loops",
+	Run:  run,
+}
+
+var nameRE = regexp.MustCompile(`^nezha_[a-z0-9_]+$`)
+
+// constructors are the Registry methods that mint a metric family.
+var constructors = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		// Every for/range body in the file; a constructor whose position
+		// falls inside one is a hot-path construction.
+		type span struct{ start, end token.Pos }
+		var loops []span
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				loops = append(loops, span{n.Body.Pos(), n.Body.End()})
+			case *ast.RangeStmt:
+				loops = append(loops, span{n.Body.Pos(), n.Body.End()})
+			}
+			return true
+		})
+		inLoop := func(p token.Pos) bool {
+			for _, s := range loops {
+				if s.start <= p && p < s.end {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if ok {
+				checkCall(pass, call, inLoop(call.Pos()))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkCall applies the rules to one metric-constructor call.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, inLoop bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !constructors[sel.Sel.Name] {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || !isMetricsPkg(fn.Pkg().Path()) {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || recvName(sig.Recv().Type()) != "Registry" {
+		return
+	}
+	if inLoop {
+		pass.Reportf(call.Pos(), "metric %s constructed inside a loop; constructors lock the registry — hoist the handle out and reuse it", sel.Sel.Name)
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	arg := call.Args[0]
+	tv := pass.TypesInfo.Types[arg]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(arg.Pos(), "metric name must be a compile-time constant so dashboards can grep it to this line")
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if nameRE.MatchString(name) {
+		return
+	}
+	d := analysis.Diagnostic{
+		Pos:     arg.Pos(),
+		Message: "metric name " + strconv.Quote(name) + " does not match ^nezha_[a-z0-9_]+$",
+	}
+	if lit, ok := arg.(*ast.BasicLit); ok {
+		if fixed := normalize(name); nameRE.MatchString(fixed) {
+			d.SuggestedFixes = []analysis.SuggestedFix{{
+				Message: "rename to " + strconv.Quote(fixed),
+				TextEdits: []analysis.TextEdit{{
+					Pos:     lit.Pos(),
+					End:     lit.End(),
+					NewText: []byte(strconv.Quote(fixed)),
+				}},
+			}}
+		}
+	}
+	pass.Report(d)
+}
+
+// normalize mechanically repairs a metric name: lower-case, separators to
+// underscores, invalid runes dropped, nezha_ prefix ensured.
+func normalize(name string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		case r == '-', r == '.', r == ' ', r == '/':
+			b.WriteByte('_')
+		}
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "nezha_") {
+		out = "nezha_" + strings.TrimPrefix(out, "_")
+	}
+	return out
+}
+
+// recvName unwraps a receiver type down to its named type's name.
+func recvName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+func isMetricsPkg(path string) bool {
+	return path == "metrics" || strings.HasSuffix(path, "/metrics")
+}

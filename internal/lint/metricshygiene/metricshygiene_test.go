@@ -1,0 +1,12 @@
+package metricshygiene_test
+
+import (
+	"testing"
+
+	"github.com/nezha-dag/nezha/internal/lint/analysis/analysistest"
+	"github.com/nezha-dag/nezha/internal/lint/metricshygiene"
+)
+
+func TestMetricsHygiene(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, analysistest.TestData(), metricshygiene.Analyzer, "a")
+}

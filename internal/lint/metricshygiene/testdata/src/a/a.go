@@ -1,0 +1,30 @@
+// Package a exercises metricshygiene: literal nezha_ names, no
+// constructors in loops, and the mechanical rename fix.
+package a
+
+import "metrics"
+
+var good = metrics.Default().Counter("nezha_good_total", "a compliant name")
+
+var renamed = metrics.Default().Counter("Nezha-Bad.Total", "fixable name") // want `metric name "Nezha-Bad.Total" does not match`
+
+const histName = "nezha_latency_seconds"
+
+var hist = metrics.Default().Histogram(histName, "constants are fine", nil)
+
+func dynamic(name string) {
+	metrics.Default().Gauge(name, "dynamic name") // want `metric name must be a compile-time constant`
+}
+
+func hot(r *metrics.Registry) {
+	for i := 0; i < 3; i++ {
+		r.Gauge("nezha_hot", "rebuilt every iteration") // want `metric Gauge constructed inside a loop`
+	}
+}
+
+func hoisted(r *metrics.Registry) {
+	g := r.Gauge("nezha_cold", "built once outside the loop")
+	for i := 0; i < 3; i++ {
+		_ = g
+	}
+}

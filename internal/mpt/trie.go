@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 
 	"github.com/nezha-dag/nezha/internal/kvstore"
 	"github.com/nezha-dag/nezha/internal/types"
@@ -332,8 +333,17 @@ func (t *Trie) Commit() (types.Hash, error) {
 		return root, nil
 	}
 	batch := &kvstore.Batch{}
-	for h, enc := range t.dirty {
-		batch.Put(h[:], enc)
+	// Sorted node order: the store state would be identical either way
+	// (nodes are keyed by hash), but map order would make the WAL byte
+	// stream differ per process — sorted commits keep replica WALs
+	// diffable and torn-log replays reproducible (found by nezha-vet).
+	hashes := make([]types.Hash, 0, len(t.dirty))
+	for h := range t.dirty {
+		hashes = append(hashes, h)
+	}
+	sort.Slice(hashes, func(i, j int) bool { return bytes.Compare(hashes[i][:], hashes[j][:]) < 0 })
+	for _, h := range hashes {
+		batch.Put(h[:], t.dirty[h])
 	}
 	if err := t.store.Apply(batch); err != nil {
 		return types.Hash{}, fmt.Errorf("mpt: commit: %w", err)

@@ -211,7 +211,7 @@ func (n *Node) RootAt(e uint64) (types.Hash, bool) {
 func (n *Node) SubmitBlock(b *types.Block) error {
 	// Failpoint: reject or crash on block ingest (a full disk, a corrupted
 	// message, a fault injected by the chaos harness).
-	if err := fail.HitTag("node/submit", n.id); err != nil {
+	if err := fail.HitTag(fail.NodeSubmit, n.id); err != nil {
 		return err
 	}
 	if err := consensus.VerifyPoW(b, n.cfg.Consensus); err != nil {

@@ -45,7 +45,7 @@ func (n *Node) persistEpochLocked(e uint64, blocks []*types.Block) error {
 	// "node/persist-done" after the batch is durable (crash = fully
 	// stored, the restarted node must land on the NEW watermark). The
 	// mid-write cases live in kvstore's own failpoints.
-	if err := fail.HitTag("node/persist", n.id); err != nil {
+	if err := fail.HitTag(fail.NodePersist, n.id); err != nil {
 		return fmt.Errorf("node: persist epoch %d: %w", e, err)
 	}
 	batch := &kvstore.Batch{}
@@ -56,7 +56,7 @@ func (n *Node) persistEpochLocked(e uint64, blocks []*types.Block) error {
 	if err := n.store.Apply(batch); err != nil {
 		return fmt.Errorf("node: persist epoch %d: %w", e, err)
 	}
-	if err := fail.HitTag("node/persist-done", n.id); err != nil {
+	if err := fail.HitTag(fail.NodePersistDone, n.id); err != nil {
 		return fmt.Errorf("node: persist epoch %d: %w", e, err)
 	}
 	return nil

@@ -37,7 +37,7 @@ import (
 // disabled fast path costs no string concatenation per epoch).
 type stage struct {
 	name     string
-	failName string
+	failName fail.Name
 	run      func(n *Node, er *epochRun, ss *metrics.StageStat) error
 }
 
@@ -60,16 +60,16 @@ type epochRun struct {
 // concurrentStages is the speculative pipeline of §III-B: validation,
 // concurrent execution, concurrency control, group-concurrent commitment.
 var concurrentStages = []stage{
-	{"validate", "node/stage-validate", (*Node).validateStage},
-	{"execute", "node/stage-execute", (*Node).executeStage},
-	{"schedule", "node/stage-schedule", (*Node).scheduleStage},
-	{"commit", "node/stage-commit", (*Node).commitStage},
+	{"validate", fail.NodeStageValidate, (*Node).validateStage},
+	{"execute", fail.NodeStageExecute, (*Node).executeStage},
+	{"schedule", fail.NodeStageSchedule, (*Node).scheduleStage},
+	{"commit", fail.NodeStageCommit, (*Node).commitStage},
 }
 
 // serialStages is the serial baseline of §VI-B behind the same harness.
 var serialStages = []stage{
-	{"validate", "node/stage-validate", (*Node).validateStage},
-	{"serial", "node/stage-serial", (*Node).serialStage},
+	{"validate", fail.NodeStageValidate, (*Node).validateStage},
+	{"serial", fail.NodeStageSerial, (*Node).serialStage},
 }
 
 // runStages drives the pipeline: each stage is timed into a StageStat

@@ -22,45 +22,48 @@ import (
 	"github.com/nezha-dag/nezha/internal/p2p"
 )
 
-func syncCounter(name, help, node string) *metrics.Counter {
-	return metrics.Default().Counter(name, help,
-		metrics.Label{Name: "node", Value: node})
+// The per-node sync counters. Each helper passes its name as a literal at
+// the constructor call: nezha-vet's metricshygiene analyzer requires
+// grep-able literal names at every Counter/Gauge call site, which is why
+// there is no name-threading wrapper here.
+
+func syncNode(node string) metrics.Label {
+	return metrics.Label{Name: "node", Value: node}
 }
 
 func syncServed(node string) *metrics.Counter {
-	return syncCounter("nezha_sync_blocks_served_total",
-		"Blocks serialized into MsgBlocks responses for other nodes.", node)
+	return metrics.Default().Counter("nezha_sync_blocks_served_total",
+		"Blocks serialized into MsgBlocks responses for other nodes.", syncNode(node))
 }
 
 func syncRequests(node string) *metrics.Counter {
-	return syncCounter("nezha_sync_requests_total",
-		"MsgGetBlocks requests issued by the syncer.", node)
+	return metrics.Default().Counter("nezha_sync_requests_total",
+		"MsgGetBlocks requests issued by the syncer.", syncNode(node))
 }
 
 func syncTimeouts(node string) *metrics.Counter {
-	return syncCounter("nezha_sync_timeouts_total",
-		"Sync requests that hit their deadline without a response.", node)
+	return metrics.Default().Counter("nezha_sync_timeouts_total",
+		"Sync requests that hit their deadline without a response.", syncNode(node))
 }
 
 func syncAccepted(node string) *metrics.Counter {
-	return syncCounter("nezha_sync_blocks_accepted_total",
-		"Blocks accepted into the ledger from sync responses.", node)
+	return metrics.Default().Counter("nezha_sync_blocks_accepted_total",
+		"Blocks accepted into the ledger from sync responses.", syncNode(node))
 }
 
 func syncDemotions(node string) *metrics.Counter {
-	return syncCounter("nezha_sync_demotions_total",
-		"Peers demoted after consecutive sync failures.", node)
+	return metrics.Default().Counter("nezha_sync_demotions_total",
+		"Peers demoted after consecutive sync failures.", syncNode(node))
 }
 
 func syncResyncs(node string) *metrics.Counter {
-	return syncCounter("nezha_sync_full_resyncs_total",
-		"Full resyncs from height 0 after a no-progress exchange.", node)
+	return metrics.Default().Counter("nezha_sync_full_resyncs_total",
+		"Full resyncs from height 0 after a no-progress exchange.", syncNode(node))
 }
 
 func syncInflight(node string) *metrics.Gauge {
 	return metrics.Default().Gauge("nezha_sync_inflight",
-		"Whether the syncer has an outstanding request (0 or 1).",
-		metrics.Label{Name: "node", Value: node})
+		"Whether the syncer has an outstanding request (0 or 1).", syncNode(node))
 }
 
 // SyncConfig tunes the self-healing sync loop.

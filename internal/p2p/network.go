@@ -339,11 +339,11 @@ func (n *Network) deliverLocked(to *Endpoint, msg Message) {
 		// Failpoints evaluate per delivery, scoped by the recipient: an
 		// armed p2p/drop blackholes traffic toward one node, an armed
 		// p2p/stall delays it (a slow peer).
-		if fail.Drop("p2p/drop", to.id) {
+		if fail.Drop(fail.P2PDrop, to.id) {
 			msgDropped(msg.Type, "failpoint").Inc()
 			return
 		}
-		_ = fail.HitTag("p2p/stall", to.id)
+		_ = fail.HitTag(fail.P2PStall, to.id)
 		// Non-blocking: a full inbox drops the message, like a saturated
 		// socket buffer — after the bounded retries above, for blocks.
 		for attempt := 0; ; attempt++ {
