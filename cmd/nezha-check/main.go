@@ -37,6 +37,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "replay":
 		err = cmdReplay(os.Args[2:])
+	case "execdiff":
+		err = cmdExecDiff(os.Args[2:])
 	case "corpus":
 		err = cmdCorpus(os.Args[2:])
 	default:
@@ -53,9 +55,10 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: nezha-check <command> [flags]
 
 commands:
-  run     sweep seeds through every adversarial profile and diff-check them
-  replay  re-run one (profile, seed) trial verbosely, minimizing any failure
-  corpus  write the fuzz seed corpora under testdata/fuzz/ (run from repo root)`)
+  run       sweep seeds through every adversarial profile and diff-check them
+  replay    re-run one (profile, seed) trial verbosely, minimizing any failure
+  execdiff  diff the MVCC executor against the snapshot-copy executor over evolving epochs
+  corpus    write the fuzz seed corpora under testdata/fuzz/ (run from repo root)`)
 }
 
 // parseParallelisms turns "1,2,4,8" into a slice.
@@ -149,6 +152,48 @@ func cmdRun(args []string) error {
 				f.Gen.Seed, f.Profile, f.Gen.Txs, f.Gen.Keys)
 		}
 		return fmt.Errorf("nezha-check: %d of %d trials diverged", len(rep.Failures), rep.Trials)
+	}
+	return nil
+}
+
+// cmdExecDiff sweeps the executor differential: the same workload run
+// through the MVCC version-cache read path and the legacy snapshot-copy
+// path must commit identical roots epoch after epoch (see
+// internal/check/execdiff.go).
+func cmdExecDiff(args []string) error {
+	fs := flag.NewFlagSet("execdiff", flag.ExitOnError)
+	seeds := fs.Int("seeds", 5, "seeds per profile")
+	startSeed := fs.Int64("start-seed", 1, "first seed")
+	epochs := fs.Int("epochs", 4, "committed generations per trial")
+	txs := fs.Int("txs", 256, "transactions per epoch")
+	keys := fs.Int("keys", 64, "address-space size")
+	par := fs.String("par", "1,2,4,8", "parallelism levels to diff")
+	verbose := fs.Bool("v", false, "one line per trial")
+	fs.Parse(args)
+
+	pars, err := parseParallelisms(*par)
+	if err != nil {
+		return err
+	}
+	cfg := check.ExecDiffRunConfig{
+		StartSeed:    *startSeed,
+		Seeds:        *seeds,
+		Epochs:       *epochs,
+		Txs:          *txs,
+		Keys:         *keys,
+		Parallelisms: pars,
+	}
+	if *verbose {
+		cfg.Verbose = os.Stdout
+	}
+	rep := check.RunExecDiffSweep(cfg)
+	fmt.Print(rep.Summary())
+	if rep.Failed() {
+		for _, f := range rep.Failures {
+			fmt.Printf("reproduce: nezha-check execdiff -start-seed %d -seeds 1 -epochs %d -txs %d -keys %d\n",
+				f.Gen.Seed, *epochs, f.Gen.Txs, f.Gen.Keys)
+		}
+		return fmt.Errorf("nezha-check: %d of %d execdiff trials diverged", len(rep.Failures), rep.Trials)
 	}
 	return nil
 }

@@ -70,7 +70,79 @@ func runMetricsCmd(args []string) error {
 	for _, name := range names {
 		printFamily(fams[name], *buckets)
 	}
+	printMVCCSummary(fams, names)
 	return nil
+}
+
+// printMVCCSummary derives the version-cache health numbers from the raw
+// nezha_mvcc_* families: hit rates are ratios of counters the exposition
+// only shows as absolutes, and the mean chain depth folds the depth
+// histogram. Printed only when at least one mvcc family survived the
+// filter, so `-filter nezha_mvcc` gives the full picture in one screen.
+func printMVCCSummary(fams map[string]*expoFamily, shown []string) {
+	seen := false
+	for _, name := range shown {
+		if strings.HasPrefix(name, "nezha_mvcc_") {
+			seen = true
+			break
+		}
+	}
+	if !seen {
+		return
+	}
+	total := func(name string) (float64, bool) {
+		f, ok := fams[name]
+		if !ok {
+			return 0, false
+		}
+		sum := 0.0
+		for _, s := range f.samples {
+			if strings.HasSuffix(s.series, "_bucket") {
+				continue // histogram buckets are cumulative, not additive
+			}
+			sum += s.value
+		}
+		return sum, true
+	}
+	ratio := func(num, den float64) string {
+		if den == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.1f%%", 100*num/den)
+	}
+	fmt.Println("mvcc summary")
+	hits, _ := total("nezha_mvcc_cache_hits_total")
+	misses, _ := total("nezha_mvcc_cache_misses_total")
+	fmt.Printf("  %-28s %s (%s hits, %s misses)\n", "version-cache hit rate",
+		ratio(hits, hits+misses), formatNum(hits), formatNum(misses))
+	pf, _ := total("nezha_mvcc_prefetched_keys_total")
+	pfHits, _ := total("nezha_mvcc_prefetch_hits_total")
+	pfSkip, _ := total("nezha_mvcc_prefetch_skipped_total")
+	fmt.Printf("  %-28s %s (%s warmed, %s used, %s skipped warm)\n", "prefetch hit rate",
+		ratio(pfHits, pf), formatNum(pf), formatNum(pfHits), formatNum(pfSkip))
+	if gc, ok := total("nezha_mvcc_gc_versions_total"); ok {
+		fmt.Printf("  %-28s %s\n", "versions folded by GC", formatNum(gc))
+	}
+	chains, okC := total("nezha_mvcc_live_chains")
+	versions, okV := total("nezha_mvcc_live_versions")
+	if okC || okV {
+		fmt.Printf("  %-28s %s chains / %s versions\n", "live state", formatNum(chains), formatNum(versions))
+	}
+	if f, ok := fams["nezha_mvcc_chain_depth"]; ok {
+		var count, sum float64
+		for _, s := range f.samples {
+			switch {
+			case strings.HasSuffix(s.series, "_count"):
+				count += s.value
+			case strings.HasSuffix(s.series, "_sum"):
+				sum += s.value
+			}
+		}
+		if count > 0 {
+			fmt.Printf("  %-28s %.2f versions (over %s GC observations)\n", "mean chain depth", sum/count, formatNum(count))
+		}
+	}
+	fmt.Println()
 }
 
 // expoFamily is one parsed metric family.

@@ -25,6 +25,8 @@ func Experiments() []Experiment {
 		{"ablation-graph", "A4: ACG vs CG construction", AblationGraphConstruction},
 		{"ablation-writemix", "A5 (extension): read-only mix sensitivity", AblationWriteMix},
 		{"occ-abort", "Extension: plain OCC vs CG vs Nezha abort rates", OCCAbortComparison},
+		{"scheduler-comparison", "Extension: occ/occda/cg/nezha abort + phase breakdown", SchedulerComparison},
+		{"exec-alloc", "Extension: MVCC view vs snapshot-copy execution allocations", ExecAllocComparison},
 		{"stages", "Extension: staged pipeline occupancy and cross-epoch overlap", StagePipeline},
 	}
 }

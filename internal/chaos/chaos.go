@@ -93,6 +93,11 @@ type Config struct {
 	// Dir is the scratch root for per-node LSM directories. Empty means a
 	// temp directory that is removed when the scenario ends.
 	Dir string
+	// SnapshotExec switches every node to the legacy snapshot-copy
+	// execution path instead of the MVCC view default — CI runs the sweep
+	// once per mode, so an executor-specific convergence bug is pinned to
+	// its executor.
+	SnapshotExec bool
 	// Verbose, when set, receives the scenario's event log as it happens.
 	Verbose io.Writer
 }
@@ -315,13 +320,14 @@ func (h *harness) setup(root string) error {
 		genesis = append(genesis, types.WriteEntry{Key: k, Value: v})
 	}
 	h.nodeCfg = node.Config{
-		Consensus:     consensus.Params{Chains: h.cfg.Chains},
-		Workers:       workers,
-		Contracts:     map[types.Address][]byte{smallbank.ContractAddress: smallbank.Program()},
-		GenesisWrites: genesis,
-		ConfirmDepth:  confirmDepth,
-		Persist:       true,
-		SyncBatch:     syncBatch,
+		Consensus:         consensus.Params{Chains: h.cfg.Chains},
+		Workers:           workers,
+		Contracts:         map[types.Address][]byte{smallbank.ContractAddress: smallbank.Program()},
+		GenesisWrites:     genesis,
+		ConfirmDepth:      confirmDepth,
+		Persist:           true,
+		SyncBatch:         syncBatch,
+		SnapshotExecution: h.cfg.SnapshotExec,
 	}
 
 	h.net = p2p.NewNetwork(p2p.Config{QueueLen: 512, Seed: h.cfg.Seed})

@@ -132,6 +132,25 @@ func Footprint(op Op, acct1, acct2 uint64) (reads, writes []types.Key) {
 	}
 }
 
+// PredictCall returns the state keys a SmallBank call payload will read —
+// the contract's Footprint, recovered from the calldata alone, without
+// executing anything. The pipeline's read-set prefetcher uses it to warm
+// the MVCC version cache one epoch ahead; a malformed payload predicts
+// nothing (the call will revert anyway).
+func PredictCall(payload []byte) []types.Key {
+	if len(payload) <= offAcct2+8 {
+		return nil
+	}
+	op := Op(payload[0])
+	if op < OpTransactSavings || op > OpGetBalance {
+		return nil
+	}
+	a1 := binary.BigEndian.Uint64(payload[offAcct1:])
+	a2 := binary.BigEndian.Uint64(payload[offAcct2:])
+	reads, _ := Footprint(op, a1, a2)
+	return reads
+}
+
 func dedupKeys(keys ...types.Key) []types.Key {
 	out := keys[:0]
 	for _, k := range keys {

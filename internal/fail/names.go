@@ -32,6 +32,7 @@ const (
 	NodeStageSchedule Name = "node/stage-schedule" // handoff into the schedule stage
 	NodeStageCommit   Name = "node/stage-commit"   // handoff into the commit stage
 	NodeStageSerial   Name = "node/stage-serial"   // handoff into the serial-baseline stage
+	NodeStagePrefetch Name = "node/stage-prefetch" // handoff into the read-set prefetch stage
 
 	// p2p: the in-process network fabric (internal/p2p).
 	P2PDrop  Name = "p2p/drop"  // message delivery drop decision

@@ -20,6 +20,8 @@ var CriticalPackages = []string{
 	"internal/mpt",
 	"internal/rlp",
 	"internal/check",
+	"internal/mvcc",
+	"internal/occda",
 }
 
 // IsCritical reports whether the import path names a determinism-critical

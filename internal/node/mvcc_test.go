@@ -1,0 +1,201 @@
+package node
+
+import (
+	"testing"
+
+	"github.com/nezha-dag/nezha/internal/contracts/smallbank"
+	"github.com/nezha-dag/nezha/internal/core"
+	"github.com/nezha-dag/nezha/internal/kvstore"
+	"github.com/nezha-dag/nezha/internal/types"
+	"github.com/nezha-dag/nezha/internal/workload"
+)
+
+// fixMinerClock replaces the miner's wall clock with a deterministic
+// counter so two runs mine byte-identical blocks (block time feeds the
+// header hash, which feeds DAG chain assignment).
+func fixMinerClock(m *Miner) {
+	var tick uint64
+	m.clock = func() uint64 {
+		tick++
+		return tick
+	}
+}
+
+// growNode drives one node through the given number of epochs over a
+// fixed SmallBank workload and returns the per-epoch roots.
+func growNode(t *testing.T, id string, snapshotExec bool, epochs uint64) map[uint64]types.Hash {
+	t.Helper()
+	gen, err := workload.NewGenerator(workload.Config{
+		Seed: 77, Accounts: 150, Skew: 0.6, InitialBalance: 5_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := gen.Txs(400)
+	cfg := testConfig(2, core.MustNewScheduler(core.DefaultConfig()))
+	cfg.SnapshotExecution = snapshotExec
+	cfg.PredictReads = func(tx *types.Transaction) []types.Key {
+		return smallbank.PredictCall(tx.Payload)
+	}
+	cfg.GenesisWrites = genesisFor(t, gen, txs)
+	n, err := New(id, kvstore.NewMemory(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miner := NewMiner(n, types.AddressFromUint64(5), 50)
+	fixMinerClock(miner)
+	miner.AddTxs(txs)
+	growEpochs(t, n, []*Miner{miner}, epochs)
+
+	roots := make(map[uint64]types.Hash)
+	for e := uint64(0); ; e++ {
+		r, ok := n.RootAt(e)
+		if !ok {
+			break
+		}
+		roots[e] = r
+	}
+	return roots
+}
+
+// TestMVCCMatchesSnapshotExecution runs the same workload through the MVCC
+// view pipeline and the legacy snapshot-copy pipeline and asserts byte-
+// identical per-epoch roots — the node-level version of the differential
+// acceptance criterion (internal/check sweeps it across shapes).
+func TestMVCCMatchesSnapshotExecution(t *testing.T) {
+	mvccRoots := growNode(t, "mvcc-mode", false, 4)
+	snapRoots := growNode(t, "snap-mode", true, 4)
+	if len(mvccRoots) < 3 {
+		t.Fatalf("only %d roots recorded", len(mvccRoots))
+	}
+	if len(mvccRoots) != len(snapRoots) {
+		t.Fatalf("epoch counts differ: %d vs %d", len(mvccRoots), len(snapRoots))
+	}
+	for e, r := range mvccRoots {
+		if other := snapRoots[e]; other != r {
+			t.Fatalf("epoch %d: mvcc root %x != snapshot root %x", e, r[:4], other[:4])
+		}
+	}
+}
+
+// TestPrefetcherWarmsCache checks the prefetch stage actually ran: over a
+// multi-epoch SmallBank run with payload prediction wired, prefetched keys
+// must be non-zero and some of them must have been used by execution.
+func TestPrefetcherWarmsCache(t *testing.T) {
+	gen, err := workload.NewGenerator(workload.Config{
+		Seed: 31, Accounts: 120, Skew: 0.2, InitialBalance: 5_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := gen.Txs(300)
+	cfg := testConfig(2, core.MustNewScheduler(core.DefaultConfig()))
+	cfg.PredictReads = func(tx *types.Transaction) []types.Key {
+		return smallbank.PredictCall(tx.Payload)
+	}
+	cfg.GenesisWrites = genesisFor(t, gen, txs)
+	n, err := New("prefetch-node", kvstore.NewMemory(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miner := NewMiner(n, types.AddressFromUint64(6), 40)
+	fixMinerClock(miner)
+	miner.AddTxs(txs)
+	// Mine the whole backlog first: the prefetcher only fires when epoch
+	// e+1 is already assembled while epoch e commits.
+	mineAhead(t, n, miner, 5)
+	if _, err := n.ProcessReadyEpochs(); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, ok := n.State().MVCCStats()
+	if !ok {
+		t.Fatal("mvcc store missing after mvcc-mode run")
+	}
+	if stats.Prefetched == 0 {
+		t.Fatalf("no keys prefetched: %+v", stats)
+	}
+	if stats.PrefetchHits == 0 {
+		t.Fatalf("no prefetched key was used: %+v", stats)
+	}
+	if stats.GCVersions == 0 {
+		t.Fatalf("watermark never folded a version: %+v", stats)
+	}
+}
+
+// TestMVCCMatchesSnapshotAssembled removes mining from the comparison:
+// both modes process the SAME externally-assembled epochs and must agree
+// on every schedule and root.
+func TestMVCCMatchesSnapshotAssembled(t *testing.T) {
+	gen, err := workload.NewGenerator(workload.Config{
+		Seed: 77, Accounts: 150, Skew: 0.6, InitialBalance: 5_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := gen.Txs(600)
+	mk := func(id string, snapExec bool) *Node {
+		cfg := testConfig(2, core.MustNewScheduler(core.DefaultConfig()))
+		cfg.SnapshotExecution = snapExec
+		cfg.GenesisWrites = genesisFor(t, gen, txs)
+		n, err := New(id, kvstore.NewMemory(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	n1, n2 := mk("mv", false), mk("sn", true)
+	const per = 200
+	for e := 0; e < 3; e++ {
+		chunk := txs[e*per : (e+1)*per]
+		mkBlocks := func(n *Node) []*types.Block {
+			var blocks []*types.Block
+			for c := 0; c < 2; c++ {
+				blocks = append(blocks, &types.Block{
+					Header: types.BlockHeader{
+						Height:    n.NextEpoch(),
+						StateRoot: n.StateRoot(),
+						Miner:     types.AddressFromUint64(9),
+					},
+					Txs: chunk[c*100 : (c+1)*100],
+				})
+			}
+			return blocks
+		}
+		r1, err := n1.ProcessAssembledEpoch(mkBlocks(n1))
+		if err != nil {
+			t.Fatalf("mvcc epoch %d: %v", e+1, err)
+		}
+		r2, err := n2.ProcessAssembledEpoch(mkBlocks(n2))
+		if err != nil {
+			t.Fatalf("snapshot epoch %d: %v", e+1, err)
+		}
+		if !r1.Schedule.Equal(r2.Schedule) {
+			t.Fatalf("epoch %d: schedules differ", e+1)
+		}
+		if r1.StateRoot != r2.StateRoot {
+			t.Fatalf("epoch %d: roots differ %x vs %x", e+1, r1.StateRoot[:4], r2.StateRoot[:4])
+		}
+	}
+}
+
+// TestPredictReadsTransfers: native transfers predict exactly the two
+// balance cells without any configured predictor.
+func TestPredictReadsTransfers(t *testing.T) {
+	cfg := testConfig(1, core.MustNewScheduler(core.DefaultConfig()))
+	n, err := New("predict", kvstore.NewMemory(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := &types.Transaction{From: types.AddressFromUint64(1), To: types.AddressFromUint64(2)}
+	keys := n.predictReads(tx)
+	want := []types.Key{types.BalanceKey(tx.From), types.BalanceKey(tx.To)}
+	if len(keys) != 2 || keys[0] != want[0] || keys[1] != want[1] {
+		t.Fatalf("predicted %v, want %v", keys, want)
+	}
+	// Contract calls without a predictor predict nothing.
+	ctx := &types.Transaction{From: tx.From, To: smallbank.ContractAddress}
+	if got := n.predictReads(ctx); got != nil {
+		t.Fatalf("contract prediction without hook = %v, want nil", got)
+	}
+}

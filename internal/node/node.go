@@ -25,6 +25,7 @@ import (
 	"github.com/nezha-dag/nezha/internal/kvstore"
 	"github.com/nezha-dag/nezha/internal/metrics"
 	"github.com/nezha-dag/nezha/internal/mpt"
+	"github.com/nezha-dag/nezha/internal/mvcc"
 	"github.com/nezha-dag/nezha/internal/statedb"
 	"github.com/nezha-dag/nezha/internal/types"
 	"github.com/nezha-dag/nezha/internal/vm"
@@ -89,6 +90,18 @@ type Config struct {
 	// long-offline joiner would otherwise make its peer serialize the
 	// entire chain into one message. 0 means DefaultSyncBatch.
 	SyncBatch int
+	// SnapshotExecution selects the legacy per-epoch snapshot-copy
+	// execution path instead of the copy-free MVCC view. It is retained
+	// as the differential reference: internal/check runs both modes over
+	// identical epochs and asserts identical roots and commit groups.
+	SnapshotExecution bool
+	// PredictReads, when set, predicts the state keys a contract
+	// transaction will read (from its payload alone) so the prefetcher
+	// stage can warm them under the previous epoch's commit. Nil means
+	// contract read sets are not predicted; native transfers are always
+	// predicted from the sender/recipient balance cells. Mispredictions
+	// are harmless — the prefetch is a pure cache warm-up.
+	PredictReads func(tx *types.Transaction) []types.Key
 }
 
 // Node is one full node. Public methods are safe for concurrent use.
@@ -112,6 +125,12 @@ type Node struct {
 	// preval is the in-flight background signature prevalidation, if any
 	// (see pipeline.go).
 	preval *prevalidation
+	// prefetch is the in-flight background read-set prefetch, if any
+	// (see pipeline.go).
+	prefetch *prefetchRun
+	// prevMVCC is the last-exported MVCC stats snapshot; the telemetry
+	// hook diffs against it so registry counters stay monotonic.
+	prevMVCC mvcc.Stats
 	// pendingPersist holds an epoch whose in-memory commit succeeded but
 	// whose durability write failed (a transient disk error). The state
 	// advance cannot be rolled back — re-running the epoch would execute
@@ -367,9 +386,12 @@ func (n *Node) processBlocksLocked(e uint64, blocks []*types.Block) (*EpochResul
 		stats:  &stats,
 		res:    &EpochResult{Epoch: e},
 	}
-	stages := concurrentStages
-	if n.cfg.Scheduler == nil {
+	stages := mvccStages
+	switch {
+	case n.cfg.Scheduler == nil:
 		stages = serialStages
+	case n.cfg.SnapshotExecution:
+		stages = snapshotStages
 	}
 	err := n.runStages(er, stages)
 	putResultsBuf(er.results)
@@ -386,6 +408,11 @@ func (n *Node) processBlocksLocked(e uint64, blocks []*types.Block) (*EpochResul
 			return nil, err
 		}
 	}
+	// The epoch is durable (or durability is off): no view below the
+	// post-commit generation can still be live, so the MVCC garbage
+	// collector may fold everything older. A failed persist returns above
+	// and stalls the watermark along with the persistence watermark.
+	n.state.AdvanceWatermark()
 	er.res.StateRoot = n.state.Root()
 	er.res.Schedule = er.sched
 	stats.Committed = er.sched.CommittedCount()
@@ -442,12 +469,13 @@ func commitScheduleInto(db *statedb.StateDB, sims []*types.SimResult, sched *typ
 	return db.Commit(ov.entries())
 }
 
-// simulate speculatively executes one transaction against a snapshot.
-func (n *Node) simulate(tx *types.Transaction, snap *statedb.Snapshot) *types.SimResult {
+// simulate speculatively executes one transaction against a state reader
+// (the epoch's snapshot or MVCC view).
+func (n *Node) simulate(tx *types.Transaction, state statedb.Reader) *types.SimResult {
 	sim := &types.SimResult{Tx: tx}
 	code, isContract := n.cfg.Contracts[tx.To]
 	if !isContract {
-		n.simulateTransfer(tx, snap, sim)
+		n.simulateTransfer(tx, state, sim)
 		return sim
 	}
 	res, err := vm.Execute(code, vm.Context{
@@ -455,7 +483,7 @@ func (n *Node) simulate(tx *types.Transaction, snap *statedb.Snapshot) *types.Si
 		Caller:   tx.From,
 		Payload:  tx.Payload,
 		GasLimit: tx.Gas,
-	}, snap)
+	}, state)
 	sim.Err = err
 	if res != nil {
 		sim.Reads = res.Reads
@@ -467,14 +495,14 @@ func (n *Node) simulate(tx *types.Transaction, snap *statedb.Snapshot) *types.Si
 
 // simulateTransfer is the native value-transfer path: move tx.Value from
 // the sender's to the recipient's balance cell, saturating at zero.
-func (n *Node) simulateTransfer(tx *types.Transaction, snap *statedb.Snapshot, sim *types.SimResult) {
+func (n *Node) simulateTransfer(tx *types.Transaction, state statedb.Reader, sim *types.SimResult) {
 	fromKey, toKey := types.BalanceKey(tx.From), types.BalanceKey(tx.To)
-	fromRaw, err := snap.Get(fromKey)
+	fromRaw, err := state.Get(fromKey)
 	if err != nil {
 		sim.Err = err
 		return
 	}
-	toRaw, err := snap.Get(toKey)
+	toRaw, err := state.Get(toKey)
 	if err != nil {
 		sim.Err = err
 		return
@@ -524,25 +552,25 @@ func applyGroup(ov *overlay, group []types.TxID, byID map[types.TxID]*types.SimR
 	wg.Wait()
 }
 
-// verifyAgainstSnapshot adapts the snapshot to core.VerifySchedule's map
-// interface.
-func verifyAgainstSnapshot(snap *statedb.Snapshot, sims []*types.SimResult, sched *types.Schedule) error {
+// verifyAgainstState adapts a state reader (snapshot or MVCC view) to
+// core.VerifySchedule's map interface.
+func verifyAgainstState(state statedb.Reader, sims []*types.SimResult, sched *types.Schedule) error {
 	// The verifier only reads keys that appear in some read set; collect
-	// their snapshot values.
-	state := make(map[types.Key][]byte)
+	// their pre-epoch values.
+	values := make(map[types.Key][]byte)
 	for _, sim := range sims {
 		for _, r := range sim.Reads {
-			if _, ok := state[r.Key]; ok {
+			if _, ok := values[r.Key]; ok {
 				continue
 			}
-			v, err := snap.Get(r.Key)
+			v, err := state.Get(r.Key)
 			if err != nil {
 				return err
 			}
-			state[r.Key] = v
+			values[r.Key] = v
 		}
 	}
-	return core.VerifySchedule(state, sims, sched)
+	return core.VerifySchedule(values, sims, sched)
 }
 
 // overlay is the sharded in-memory state the commitment phase writes into

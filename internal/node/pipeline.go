@@ -47,7 +47,7 @@ type epochRun struct {
 	blocks []*types.Block
 
 	epoch      *types.Epoch
-	snap       *statedb.Snapshot
+	state      statedb.Reader     // pre-epoch read state: MVCC view or copied snapshot
 	results    []*types.SimResult // pooled; nil-ed and returned after the epoch
 	sims       []*types.SimResult // results minus execution failures
 	execFailed []types.TxID
@@ -57,9 +57,22 @@ type epochRun struct {
 	res   *EpochResult
 }
 
-// concurrentStages is the speculative pipeline of §III-B: validation,
-// concurrent execution, concurrency control, group-concurrent commitment.
-var concurrentStages = []stage{
+// mvccStages is the speculative pipeline of §III-B — validation,
+// concurrent execution, concurrency control, group-concurrent commitment —
+// over the copy-free MVCC view, with the read-set prefetch of epoch e+1
+// kicked just before epoch e's commit so it rides under the trie flush.
+var mvccStages = []stage{
+	{"validate", fail.NodeStageValidate, (*Node).validateStage},
+	{"execute", fail.NodeStageExecute, (*Node).executeStage},
+	{"schedule", fail.NodeStageSchedule, (*Node).scheduleStage},
+	{"prefetch", fail.NodeStagePrefetch, (*Node).prefetchStage},
+	{"commit", fail.NodeStageCommit, (*Node).commitStage},
+}
+
+// snapshotStages is the same pipeline over a per-epoch snapshot copy — the
+// pre-MVCC behaviour, kept as the differential reference
+// (Config.SnapshotExecution).
+var snapshotStages = []stage{
 	{"validate", fail.NodeStageValidate, (*Node).validateStage},
 	{"execute", fail.NodeStageExecute, (*Node).executeStage},
 	{"schedule", fail.NodeStageSchedule, (*Node).scheduleStage},
@@ -154,12 +167,24 @@ func (n *Node) validateStage(er *epochRun, ss *metrics.StageStat) error {
 }
 
 // executeStage speculatively executes the epoch's transactions against the
-// current state snapshot on the worker pool. Workers pull indices from an
-// atomic counter (cheaper than a channel at this fan-out) and write
-// disjoint slots of the pooled results buffer; per-worker busy spans feed
-// the stage's occupancy counters.
+// pre-epoch state on the worker pool. The default read path is a copy-free
+// MVCC view (no per-epoch state duplication; the background prefetch of
+// this epoch's read set is collected first and its hidden time credited
+// as overlap); Config.SnapshotExecution selects the legacy snapshot copy.
+// Workers pull indices from an atomic counter (cheaper than a channel at
+// this fan-out) and write disjoint slots of the pooled results buffer;
+// per-worker busy spans feed the stage's occupancy counters.
 func (n *Node) executeStage(er *epochRun, ss *metrics.StageStat) error {
-	er.snap = n.state.Snapshot()
+	if n.cfg.SnapshotExecution {
+		er.state = n.state.Snapshot()
+	} else {
+		if pf := n.takePrefetch(er.number); pf != nil {
+			ss.Overlap = pf.elapsed
+			n.tracer.Span(n.id+"/background", "prefetch", pf.started, pf.elapsed,
+				map[string]any{"epoch": er.number, "keys": pf.keys})
+		}
+		er.state = n.state.View()
+	}
 	txs := er.epoch.Txs
 	er.results = getResultsBuf(len(txs))
 	workers := n.cfg.Workers
@@ -182,7 +207,7 @@ func (n *Node) executeStage(er *epochRun, ss *metrics.StageStat) error {
 				if i >= len(txs) {
 					break
 				}
-				er.results[i] = n.simulate(txs[i], er.snap)
+				er.results[i] = n.simulate(txs[i], er.state)
 			}
 			busy[w] = time.Since(t0)
 		}(w)
@@ -222,10 +247,24 @@ func (n *Node) scheduleStage(er *epochRun, ss *metrics.StageStat) error {
 	ss.Workers = breakdown.Shards
 
 	if n.cfg.VerifySchedules {
-		if err := verifyAgainstSnapshot(er.snap, er.sims, sched); err != nil {
+		if err := verifyAgainstState(er.state, er.sims, sched); err != nil {
 			return fmt.Errorf("node: epoch %d schedule unsound: %w", er.number, err)
 		}
 	}
+	return nil
+}
+
+// prefetchStage kicks the background read-set prefetch of the NEXT epoch:
+// a goroutine walks epoch e+1's predicted read keys and pulls the cold
+// ones into the MVCC version cache while epoch e's commit flushes the
+// trie. The next executeStage collects it (takePrefetch) and credits the
+// hidden time as overlap. The stage itself only launches the goroutine.
+func (n *Node) prefetchStage(er *epochRun, ss *metrics.StageStat) error {
+	n.kickPrefetch(er.number + 1)
+	if n.prefetch != nil {
+		ss.Tasks = n.prefetch.keys
+	}
+	ss.Workers = 1
 	return nil
 }
 
@@ -336,6 +375,88 @@ func (n *Node) takePrevalidation(e uint64) *prevalidation {
 	}
 	<-pv.done
 	return pv
+}
+
+// prefetchRun is one background read-set prefetch for an upcoming epoch.
+// The goroutine writes keys/loaded/elapsed strictly before closing done,
+// so a reader that waits on done observes all of them.
+type prefetchRun struct {
+	epoch   uint64
+	done    chan struct{}
+	keys    int // predicted keys walked
+	started time.Time
+	elapsed time.Duration
+}
+
+// predictReads guesses the state keys a transaction will read from its
+// payload alone — the prefetcher's input. Native transfers touch exactly
+// the sender and recipient balance cells; contract read sets come from
+// cfg.PredictReads when the embedder can derive them (the chaos harness
+// does for SmallBank). A misprediction only costs a wasted cache fill.
+func (n *Node) predictReads(tx *types.Transaction) []types.Key {
+	if _, isContract := n.cfg.Contracts[tx.To]; isContract {
+		if n.cfg.PredictReads != nil {
+			return n.cfg.PredictReads(tx)
+		}
+		return nil
+	}
+	return []types.Key{types.BalanceKey(tx.From), types.BalanceKey(tx.To)}
+}
+
+// kickPrefetch starts pulling epoch e's predicted read set into the MVCC
+// version cache in the background. Caller holds n.mu; like the signature
+// prevalidation, the goroutine must not touch mu-guarded state — it reads
+// the ledger (internally locked) and the statedb (internally locked) and
+// writes only its own record. It is kicked before the commit stage so the
+// trie walks ride under the flush; the mvcc reservation protocol makes the
+// concurrent loads safe, and keys the commit is about to write are
+// skipped as reserved.
+func (n *Node) kickPrefetch(e uint64) {
+	blocks, ok := n.ledger.EpochBlocks(e)
+	if !ok || len(blocks) == 0 {
+		return
+	}
+	var keys []types.Key
+	seen := make(map[types.Key]struct{})
+	for _, b := range blocks {
+		for _, tx := range b.Txs {
+			for _, k := range n.predictReads(tx) {
+				if _, dup := seen[k]; dup {
+					continue
+				}
+				seen[k] = struct{}{}
+				keys = append(keys, k)
+			}
+		}
+	}
+	if len(keys) == 0 {
+		return
+	}
+	pf := &prefetchRun{epoch: e, done: make(chan struct{}), keys: len(keys)}
+	n.prefetch = pf
+	go func() {
+		pf.started = time.Now()
+		for _, k := range keys {
+			// Load errors are non-fatal here: the execute stage will hit
+			// the same error on the synchronous path and report it there.
+			_ = n.state.Prefetch(k)
+		}
+		pf.elapsed = time.Since(pf.started)
+		close(pf.done)
+	}()
+}
+
+// takePrefetch claims the pending background prefetch for epoch e, waiting
+// for it to finish. A run for a different epoch is dropped without
+// waiting — its goroutine only warms the shared cache, which is harmless.
+func (n *Node) takePrefetch(e uint64) *prefetchRun {
+	pf := n.prefetch
+	n.prefetch = nil
+	if pf == nil || pf.epoch != e {
+		return nil
+	}
+	<-pf.done
+	return pf
 }
 
 // checkSignatures verifies every transaction signature in a block across

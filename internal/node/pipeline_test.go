@@ -30,9 +30,10 @@ func mineAhead(t *testing.T, n *Node, m *Miner, epochs uint64) {
 	}
 }
 
-// TestStagesRecordedConcurrent: the concurrent pipeline reports its four
-// named stages, with durations mirroring the legacy phase fields and task
-// counts matching the epoch.
+// TestStagesRecordedConcurrent: the concurrent pipeline reports its named
+// stages (including the MVCC read-set prefetch kick before commit), with
+// durations mirroring the legacy phase fields and task counts matching
+// the epoch.
 func TestStagesRecordedConcurrent(t *testing.T) {
 	gen, err := workload.NewGenerator(workload.Config{
 		Seed: 11, Accounts: 200, Skew: 0.3, InitialBalance: 1_000,
@@ -56,7 +57,7 @@ func TestStagesRecordedConcurrent(t *testing.T) {
 		t.Fatal("no epochs recorded")
 	}
 	for _, es := range epochs {
-		want := []string{"validate", "execute", "schedule", "commit"}
+		want := []string{"validate", "execute", "schedule", "prefetch", "commit"}
 		if len(es.Stages) != len(want) {
 			t.Fatalf("epoch %d: %d stages recorded, want %d", es.Epoch, len(es.Stages), len(want))
 		}
@@ -66,7 +67,7 @@ func TestStagesRecordedConcurrent(t *testing.T) {
 			}
 		}
 		if es.Stages[0].Duration != es.Validate || es.Stages[1].Duration != es.Execute ||
-			es.Stages[2].Duration != es.Control || es.Stages[3].Duration != es.Commit {
+			es.Stages[2].Duration != es.Control || es.Stages[4].Duration != es.Commit {
 			t.Fatalf("epoch %d: stage durations diverge from legacy phase fields", es.Epoch)
 		}
 		if es.Stages[1].Tasks != es.Txs {
@@ -82,7 +83,7 @@ func TestStagesRecordedConcurrent(t *testing.T) {
 
 	// The aggregated summary carries the same stage names.
 	sum := n.Metrics().Summarize()
-	if len(sum.Stages) != 4 || sum.Stages[0].Name != "validate" {
+	if len(sum.Stages) != 5 || sum.Stages[0].Name != "validate" {
 		t.Fatalf("summary stages: %+v", sum.Stages)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/nezha-dag/nezha/internal/metrics"
+	"github.com/nezha-dag/nezha/internal/mvcc"
 )
 
 // recordStageMetrics exports one stage's counters after it ran.
@@ -58,6 +59,46 @@ func (n *Node) recordEpochMetrics(stats *metrics.EpochStats, discarded int) {
 		"Next epoch number the node will process.", nl).Set(float64(stats.Epoch + 1))
 	reg.Gauge("nezha_epoch_block_concurrency",
 		"Blocks forming the last processed epoch (the paper's omega).", nl).Set(float64(stats.BlockConcurrency))
+	if mv, ok := n.state.MVCCStats(); ok {
+		n.recordMVCCMetrics(mv)
+	}
+}
+
+// recordMVCCMetrics exports the multi-version store's counters. The store
+// keeps cumulative totals, so the node diffs against the last exported
+// snapshot to keep the registry counters monotonic. Called with n.mu held.
+func (n *Node) recordMVCCMetrics(cur mvcc.Stats) {
+	reg := metrics.Default()
+	nl := metrics.Label{Name: "node", Value: n.id}
+	prev := n.prevMVCC
+	n.prevMVCC = cur
+	reg.Counter("nezha_mvcc_cache_hits_total",
+		"Execution reads served by the MVCC version cache.", nl).Add(float64(cur.Hits - prev.Hits))
+	reg.Counter("nezha_mvcc_cache_misses_total",
+		"Execution reads that fell through to the state trie.", nl).Add(float64(cur.Misses - prev.Misses))
+	reg.Counter("nezha_mvcc_prefetched_keys_total",
+		"Cold keys the read-set prefetcher pulled into the version cache.", nl).Add(float64(cur.Prefetched - prev.Prefetched))
+	reg.Counter("nezha_mvcc_prefetch_hits_total",
+		"Prefetched keys a later execution read actually used (hit-rate numerator).", nl).Add(float64(cur.PrefetchHits - prev.PrefetchHits))
+	reg.Counter("nezha_mvcc_prefetch_skipped_total",
+		"Prefetch requests dropped because the key was warm or reserved by a commit.", nl).Add(float64(cur.PrefetchSkipped - prev.PrefetchSkipped))
+	reg.Counter("nezha_mvcc_gc_versions_total",
+		"Versions folded into chain bases by the GC watermark.", nl).Add(float64(cur.GCVersions - prev.GCVersions))
+	reg.Gauge("nezha_mvcc_live_chains",
+		"Per-key version chains (cache entries) currently held.", nl).Set(float64(cur.Chains))
+	reg.Gauge("nezha_mvcc_live_versions",
+		"Committed versions retained above the GC watermark.", nl).Set(float64(cur.Versions))
+	depth := reg.Histogram("nezha_mvcc_chain_depth",
+		"Version-chain depth observed at GC time.", mvcc.DepthBuckets, nl)
+	for i, count := range cur.DepthBuckets {
+		rep := 2 * mvcc.DepthBuckets[len(mvcc.DepthBuckets)-1] // overflow bucket representative
+		if i < len(mvcc.DepthBuckets) {
+			rep = mvcc.DepthBuckets[i]
+		}
+		for seen := prev.DepthBuckets[i]; seen < count; seen++ {
+			depth.Observe(rep)
+		}
+	}
 }
 
 // SetTracer attaches an epoch tracer: every subsequent stage records a

@@ -1,0 +1,245 @@
+package occda
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/nezha-dag/nezha/internal/core"
+	"github.com/nezha-dag/nezha/internal/occ"
+	"github.com/nezha-dag/nezha/internal/types"
+)
+
+func key(n byte) types.Key {
+	var k types.Key
+	k[0] = n
+	return k
+}
+
+func simRW(id types.TxID, reads, writes []types.Key) *types.SimResult {
+	sim := &types.SimResult{Tx: &types.Transaction{ID: id}}
+	for _, k := range reads {
+		sim.Reads = append(sim.Reads, types.ReadEntry{Key: k})
+	}
+	for _, k := range writes {
+		sim.Writes = append(sim.Writes, types.WriteEntry{Key: k, Value: []byte{byte(id)}})
+	}
+	return sim
+}
+
+// TestRescuesOCCVictim: the canonical recoverable conflict. Tx 0 writes k;
+// tx 1 reads k and writes elsewhere. Plain OCC aborts tx 1; OCC-DA slots
+// it below tx 0's write.
+func TestRescuesOCCVictim(t *testing.T) {
+	k := key(1)
+	sims := []*types.SimResult{
+		simRW(0, nil, []types.Key{k}),
+		simRW(1, []types.Key{k}, []types.Key{key(2)}),
+	}
+	sched, pb, err := NewScheduler().Schedule(sims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sched.IsCommitted(0) || !sched.IsCommitted(1) {
+		t.Fatalf("rescue failed: %+v aborted %+v", sched.Seqs, sched.Aborted)
+	}
+	if pb.Rescued != 1 {
+		t.Fatalf("Rescued = %d, want 1", pb.Rescued)
+	}
+	// The rescued reader must sort below the writer it read under.
+	if sched.Seqs[1] >= sched.Seqs[0] {
+		t.Fatalf("rescued reader at %d, writer at %d", sched.Seqs[1], sched.Seqs[0])
+	}
+	if err := core.VerifySchedule(nil, sims, sched); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnrescuableVictimAborts: a victim squeezed between a reader of its
+// write set and a writer of its read set with no gap must still abort.
+func TestUnrescuableVictimAborts(t *testing.T) {
+	a, b := key(1), key(2)
+	sims := []*types.SimResult{
+		simRW(0, []types.Key{b}, []types.Key{a}), // reads b, writes a
+		simRW(1, []types.Key{a}, []types.Key{b}), // reads a (dirty), writes b
+	}
+	sched, pb, err := NewScheduler().Schedule(sims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tx 1 must precede tx 0 (it read a, which 0 wrote) and follow it (it
+	// writes b, which 0 read) — an unbreakable cycle.
+	if sched.IsCommitted(1) {
+		t.Fatalf("unrescuable victim committed at %d", sched.Seqs[1])
+	}
+	if pb.Rescued != 0 {
+		t.Fatalf("Rescued = %d, want 0", pb.Rescued)
+	}
+	if sched.Aborted[0].Reason != types.AbortUnserializable {
+		t.Fatalf("reason = %v", sched.Aborted[0].Reason)
+	}
+	if err := core.VerifySchedule(nil, sims, sched); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDenseRenumbering: final sequence numbers are 1..n with no gaps,
+// regardless of the strided intermediate numbering.
+func TestDenseRenumbering(t *testing.T) {
+	sims := []*types.SimResult{
+		simRW(0, nil, []types.Key{key(1)}),
+		simRW(1, []types.Key{key(1)}, []types.Key{key(2)}), // rescued below tx 0
+		simRW(2, []types.Key{key(3)}, []types.Key{key(4)}),
+	}
+	sched, _, err := NewScheduler().Schedule(sims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[types.Seq]bool)
+	max := types.Seq(0)
+	for _, seq := range sched.Seqs {
+		seen[seq] = true
+		if seq > max {
+			max = seq
+		}
+	}
+	for s := types.Seq(1); s <= max; s++ {
+		if !seen[s] {
+			t.Fatalf("gap at seq %d in %v", s, sched.Seqs)
+		}
+	}
+}
+
+// TestSchedulesVerifyOnRandomWorkloads: every schedule OCC-DA produces
+// must pass the scheme-agnostic serializability verifier.
+func TestSchedulesVerifyOnRandomWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	s := NewScheduler()
+	for trial := 0; trial < 60; trial++ {
+		snapshot := make(map[types.Key][]byte)
+		nKeys := 3 + rng.Intn(20)
+		var sims []*types.SimResult
+		for i := 0; i < 60; i++ {
+			sim := &types.SimResult{Tx: &types.Transaction{ID: types.TxID(i)}}
+			seenR := map[types.Key]bool{}
+			for r := 0; r < rng.Intn(3); r++ {
+				k := types.KeyFromUint64(uint64(rng.Intn(nKeys)))
+				if seenR[k] {
+					continue
+				}
+				seenR[k] = true
+				snapshot[k] = nil
+				sim.Reads = append(sim.Reads, types.ReadEntry{Key: k})
+			}
+			seenW := map[types.Key]bool{}
+			for w := 0; w < 1+rng.Intn(2); w++ {
+				k := types.KeyFromUint64(uint64(rng.Intn(nKeys)))
+				if seenW[k] {
+					continue
+				}
+				seenW[k] = true
+				sim.Writes = append(sim.Writes, types.WriteEntry{Key: k, Value: []byte{byte(i)}})
+			}
+			sims = append(sims, sim)
+		}
+		sched, _, err := s.Schedule(sims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := core.VerifySchedule(snapshot, sims, sched); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if sched.CommittedCount()+sched.AbortedCount() != len(sims) {
+			t.Fatalf("trial %d: accounting wrong", trial)
+		}
+	}
+}
+
+// TestAbortsNoMoreThanOCC: on identical workloads the hybrid's abort set
+// is a subset of plain OCC's victims — rescue can only help. Under
+// contention it must actually rescue someone.
+func TestAbortsNoMoreThanOCC(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	plain := occ.NewScheduler()
+	hybrid := NewScheduler()
+	occTotal, daTotal, rescued := 0, 0, 0
+	for trial := 0; trial < 20; trial++ {
+		var sims []*types.SimResult
+		for i := 0; i < 100; i++ {
+			sims = append(sims, simRW(types.TxID(i),
+				[]types.Key{key(byte(rng.Intn(8)))},
+				[]types.Key{key(byte(rng.Intn(8)))}))
+		}
+		o, _, err := plain.Schedule(sims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, pb, err := hybrid.Schedule(sims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.AbortedCount() > o.AbortedCount() {
+			t.Fatalf("trial %d: occda aborts %d > occ %d", trial, d.AbortedCount(), o.AbortedCount())
+		}
+		// Every occda abort must be an occ victim too.
+		for _, a := range d.Aborted {
+			if o.IsCommitted(a.ID) {
+				t.Fatalf("trial %d: occda aborted %d, which occ committed", trial, a.ID)
+			}
+		}
+		occTotal += o.AbortedCount()
+		daTotal += d.AbortedCount()
+		rescued += pb.Rescued
+	}
+	if rescued == 0 {
+		t.Fatal("no victim rescued across 20 contended trials")
+	}
+	if daTotal >= occTotal {
+		t.Fatalf("occda aborts (%d) not below occ (%d) under contention", daTotal, occTotal)
+	}
+}
+
+// TestPass1MatchesOCCCommitGroups: with no victims the hybrid degenerates
+// to plain OCC — serial commit order, identical commit set.
+func TestPass1MatchesOCCCommitGroups(t *testing.T) {
+	sims := []*types.SimResult{
+		simRW(0, []types.Key{key(1)}, []types.Key{key(2)}),
+		simRW(1, []types.Key{key(3)}, []types.Key{key(4)}),
+		simRW(2, []types.Key{key(5)}, []types.Key{key(6)}),
+	}
+	sched, pb, err := NewScheduler().Schedule(sims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.Rescued != 0 || sched.AbortedCount() != 0 {
+		t.Fatalf("conflict-free epoch rescued/aborted: %+v", sched.Aborted)
+	}
+	for i, id := range []types.TxID{0, 1, 2} {
+		if sched.Seqs[id] != types.Seq(i+1) {
+			t.Fatalf("seq[%d] = %d, want %d", id, sched.Seqs[id], i+1)
+		}
+	}
+}
+
+func TestDeterministicAndEmpty(t *testing.T) {
+	s := NewScheduler()
+	out, _, err := s.Schedule(nil)
+	if err != nil || out.CommittedCount() != 0 {
+		t.Fatalf("empty: %v", err)
+	}
+	sims := []*types.SimResult{
+		simRW(0, []types.Key{key(1)}, []types.Key{key(2)}),
+		simRW(1, []types.Key{key(2)}, []types.Key{key(1)}),
+		simRW(2, nil, []types.Key{key(1)}),
+		simRW(3, []types.Key{key(1)}, []types.Key{key(3)}),
+	}
+	a, _, _ := s.Schedule(sims)
+	for i := 0; i < 10; i++ {
+		b, _, _ := s.Schedule(sims)
+		if !a.Equal(b) {
+			t.Fatal("occda not deterministic")
+		}
+	}
+	if s.Name() != "occda" {
+		t.Fatal("name")
+	}
+}

@@ -12,17 +12,30 @@ import (
 
 	"github.com/nezha-dag/nezha/internal/kvstore"
 	"github.com/nezha-dag/nezha/internal/mpt"
+	"github.com/nezha-dag/nezha/internal/mvcc"
 	"github.com/nezha-dag/nezha/internal/types"
 )
 
+// Reader is the read API speculative execution runs against: either a
+// copied Snapshot (the legacy per-epoch path, retained as the differential
+// reference) or a copy-free mvcc.View. It matches vm.StateReader.
+type Reader interface {
+	Get(k types.Key) ([]byte, error)
+}
+
 // StateDB is the mutable head state. A single writer (the commit phase)
-// calls Commit; any number of readers use Snapshots. StateDB itself is safe
-// for concurrent use.
+// calls Commit; any number of readers use Snapshots or Views. StateDB
+// itself is safe for concurrent use.
 type StateDB struct {
 	mu    sync.RWMutex
 	store kvstore.Store
 	trie  *mpt.Trie
 	root  types.Hash
+	// mv is the multi-version cache in front of the trie, created on the
+	// first View call (snapshot-only users never pay for it). Once it
+	// exists, every Commit threads its writes through it so views stay
+	// consistent with the trie.
+	mv *mvcc.Store
 }
 
 // Open returns a StateDB over the given node store, rooted at root
@@ -62,20 +75,127 @@ func (s *StateDB) Snapshot() *Snapshot {
 	return sn
 }
 
+// View returns a copy-free MVCC reader pinned at the current state — the
+// Snapshot replacement for speculative execution. Unlike a Snapshot it
+// shares the version cache with every other view and with the commit
+// path, so nothing is duplicated per epoch; the view stays readable while
+// a later Commit runs (it keeps resolving pre-commit values) until
+// AdvanceWatermark garbage-collects its generation.
+func (s *StateDB) View() *mvcc.View {
+	s.mu.RLock()
+	mv := s.mv
+	if mv != nil {
+		v := mv.Head() // generation is stable under the read lock
+		s.mu.RUnlock()
+		return v
+	}
+	s.mu.RUnlock()
+	return s.ensureMVCC().Head()
+}
+
+// ensureMVCC creates the multi-version store on first use. The backend
+// loader reads through StateDB.Get, whose read lock serializes it against
+// the trie flush; the mvcc read path discards loads that straddle a
+// commit (see the mvcc package comment).
+func (s *StateDB) ensureMVCC() *mvcc.Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mv == nil {
+		s.mv = mvcc.New(0, s.Get)
+	}
+	return s.mv
+}
+
+// Prefetch pulls a cold key into the version cache (the pipeline's
+// prefetcher stage walks the next epoch's predicted read sets with it,
+// overlapped with the current epoch's commit).
+func (s *StateDB) Prefetch(k types.Key) error {
+	s.mu.RLock()
+	mv := s.mv
+	s.mu.RUnlock()
+	if mv == nil {
+		mv = s.ensureMVCC()
+	}
+	return mv.Prefetch(k)
+}
+
+// AdvanceWatermark moves the MVCC garbage-collection watermark up to the
+// current committed generation — the caller's promise that no view older
+// than the present state is still being read (the node makes it once an
+// epoch has persisted). Returns the number of folded versions.
+func (s *StateDB) AdvanceWatermark() int {
+	s.mu.RLock()
+	mv := s.mv
+	gen := uint64(0)
+	if mv != nil {
+		gen = mv.Gen()
+	}
+	s.mu.RUnlock()
+	if mv == nil {
+		return 0
+	}
+	return mv.SetWatermark(gen)
+}
+
+// MVCCStats snapshots the version cache's counters; ok is false until the
+// first View call creates the cache.
+func (s *StateDB) MVCCStats() (stats mvcc.Stats, ok bool) {
+	s.mu.RLock()
+	mv := s.mv
+	s.mu.RUnlock()
+	if mv == nil {
+		return mvcc.Stats{}, false
+	}
+	return mv.Stats(), true
+}
+
 // Commit applies the writes of one epoch to the trie, persists the new
 // nodes, and returns the new root. Writes must already be conflict-free
 // (distinct keys or intentional last-writer-wins order); the concurrency-
 // control layer guarantees that.
+//
+// When the MVCC cache exists the commit follows its protocol: reserve the
+// written keys, append the new versions while the trie still resolves
+// pre-flush values, flush, then release the reservations. Readers pinned
+// before the commit keep seeing the old values throughout.
 func (s *StateDB) Commit(writes []types.WriteEntry) (types.Hash, error) {
 	s.mu.Lock()
+	mv := s.mv
+	if mv != nil && len(writes) > 0 {
+		keys := make([]types.Key, len(writes))
+		for i, w := range writes {
+			keys[i] = w.Key
+		}
+		mv.ReserveEpoch(keys)
+		defer mv.ReleaseEpoch()
+		// Pre-flush trie reads, under the already-held write lock.
+		load := func(k types.Key) ([]byte, error) {
+			v, _, err := s.trie.Get(k[:])
+			return v, err
+		}
+		if _, err := mv.CommitEpoch(writes, load); err != nil {
+			s.mu.Unlock()
+			return types.Hash{}, err
+		}
+	}
 	defer s.mu.Unlock()
+	// A failed flush must also unwind the versions staged above: the
+	// writes never reached the trie, and a retried epoch reading a view
+	// would otherwise see phantom state no other node computed.
+	rollback := func() {
+		if mv != nil && len(writes) > 0 {
+			mv.RollbackEpoch(writes)
+		}
+	}
 	for _, w := range writes {
 		if err := s.trie.Put(w.Key[:], w.Value); err != nil {
+			rollback()
 			return types.Hash{}, fmt.Errorf("statedb: apply write: %w", err)
 		}
 	}
 	root, err := s.trie.Commit()
 	if err != nil {
+		rollback()
 		return types.Hash{}, err
 	}
 	s.root = root
@@ -111,6 +231,12 @@ type snapshotShard struct {
 	mu    sync.RWMutex
 	cache map[types.Key][]byte
 }
+
+// Both execution read paths satisfy the shared Reader API.
+var (
+	_ Reader = (*Snapshot)(nil)
+	_ Reader = (*mvcc.View)(nil)
+)
 
 // Root returns the snapshot's root.
 func (sn *Snapshot) Root() types.Hash { return sn.root }
