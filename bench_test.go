@@ -10,6 +10,7 @@ import (
 	"github.com/nezha-dag/nezha/internal/contracts/smallbank"
 	"github.com/nezha-dag/nezha/internal/core"
 	"github.com/nezha-dag/nezha/internal/fail"
+	"github.com/nezha-dag/nezha/internal/journal"
 	"github.com/nezha-dag/nezha/internal/kvstore"
 	"github.com/nezha-dag/nezha/internal/mpt"
 	"github.com/nezha-dag/nezha/internal/occda"
@@ -299,5 +300,32 @@ func BenchmarkFailpointDisabled(b *testing.B) {
 		if err := fail.Hit(fail.BenchDisarmed); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkJournalDisabled guards the flight recorder's parallel promise:
+// with recording off, an Emit on the commit path costs one atomic load —
+// the same budget as a disarmed failpoint — so the instrumentation can
+// stay compiled into every stage handoff permanently.
+func BenchmarkJournalDisabled(b *testing.B) {
+	journal.Disable()
+	r := journal.For("bench-disabled")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(journal.NodeEpochCommit, uint64(i))
+	}
+}
+
+// BenchmarkJournalEmit is the armed path: one atomic sequence
+// reservation plus a slot-mutex payload copy, at most one allocation per
+// event (the variadic field slice when it escapes).
+func BenchmarkJournalEmit(b *testing.B) {
+	journal.Enable()
+	defer journal.Disable()
+	r := journal.For("bench-armed")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(journal.NodeEpochCommit, uint64(i),
+			journal.F("root", uint64(i)*0x9e3779b9), journal.F("committed", 40))
 	}
 }

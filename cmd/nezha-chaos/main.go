@@ -55,6 +55,7 @@ func scenarioFlags(fs *flag.FlagSet) *chaos.Config {
 	fs.IntVar(&cfg.Accounts, "accounts", 0, "workload accounts (0 = default 300)")
 	fs.StringVar(&cfg.Dir, "dir", "", "scratch dir for node stores (default: temp, removed)")
 	fs.BoolVar(&cfg.SnapshotExec, "snapshot-exec", false, "use the legacy snapshot-copy executor instead of the MVCC view default")
+	fs.StringVar(&cfg.JournalDir, "journal-dir", "", "dump per-node flight-recorder journals here (default: only on failure, to a kept temp dir)")
 	return cfg
 }
 
@@ -112,6 +113,9 @@ func cmdReplay(args []string) error {
 		res.Seed, res.Epochs, res.Blocks, res.CrashRestarts, res.Partitions, res.StorageErrors, res.Stalls)
 	if res.Failure == nil {
 		fmt.Println("result: ok")
+		if cfg.JournalDir != "" {
+			fmt.Printf("journals: %s\n", cfg.JournalDir)
+		}
 		return nil
 	}
 	fmt.Printf("result: FAIL\n%s\n", res.Failure.Error())

@@ -1,0 +1,102 @@
+package main
+
+// The journal and diff subcommands are the flight-recorder forensics
+// surface: journal pretty-prints a dumped per-node event ring (binary or
+// JSONL, sniffed), diff aligns two nodes' journals on their deterministic
+// (epoch, kind) coordinates and reports the first causal divergence —
+// the same report a failed chaos scenario embeds in its Failure.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/nezha-dag/nezha/internal/journal"
+)
+
+func runJournalCmd(args []string) error {
+	fs := flag.NewFlagSet("journal", flag.ContinueOnError)
+	var (
+		epoch   = fs.Int64("epoch", -1, "only show events for this epoch")
+		kind    = fs.String("kind", "", "only show events whose kind contains this substring")
+		jsonl   = fs.Bool("json", false, "re-emit as JSONL instead of pretty-printing")
+		detOnly = fs.Bool("det", false, "only show deterministic (diff-alignable) events")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: nezha-inspect journal [-epoch N] [-kind substr] [-det] [-json] <file.journal>...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return fmt.Errorf("journal: at least one journal file is required")
+	}
+	for _, path := range fs.Args() {
+		events, err := journal.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("journal: %s: %w", path, err)
+		}
+		kept := events[:0]
+		for _, e := range events {
+			if *epoch >= 0 && e.Epoch != uint64(*epoch) {
+				continue
+			}
+			if *kind != "" && !strings.Contains(string(e.Kind), *kind) {
+				continue
+			}
+			if *detOnly && !journal.Deterministic(e.Kind) {
+				continue
+			}
+			kept = append(kept, e)
+		}
+		if *jsonl {
+			if err := journal.WriteJSONL(os.Stdout, kept); err != nil {
+				return err
+			}
+			continue
+		}
+		node := ""
+		if len(events) > 0 {
+			node = events[0].Node
+		}
+		fmt.Printf("%s: node %s, %d events (%d shown)\n", path, node, len(events), len(kept))
+		for _, e := range kept {
+			fmt.Printf("  %s\n", e.String())
+		}
+	}
+	return nil
+}
+
+func runDiffCmd(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	contextN := fs.Int("context", journal.DefaultContext, "surrounding events to show per side")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: nezha-inspect diff [-context N] <a.journal> <b.journal>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return fmt.Errorf("diff: exactly two journal files are required")
+	}
+	a, err := journal.ReadFile(fs.Arg(0))
+	if err != nil {
+		return fmt.Errorf("diff: %s: %w", fs.Arg(0), err)
+	}
+	b, err := journal.ReadFile(fs.Arg(1))
+	if err != nil {
+		return fmt.Errorf("diff: %s: %w", fs.Arg(1), err)
+	}
+	d := journal.DiffContext(a, b, *contextN)
+	if d == nil {
+		fmt.Println("no divergence: every aligned deterministic event matches")
+		return nil
+	}
+	fmt.Print(d.String())
+	return fmt.Errorf("diff: journals diverge")
+}

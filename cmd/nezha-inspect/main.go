@@ -7,9 +7,12 @@
 //
 //	nezha-inspect -txs 200 -skew 0.8 -accounts 10000 -v
 //	nezha-inspect metrics -addr localhost:9090 -filter nezha_stage
+//	nezha-inspect journal -epoch 7 /tmp/nezha-journal-x/n0.journal
+//	nezha-inspect diff /tmp/nezha-journal-x/n0.journal /tmp/nezha-journal-x/n2.journal
 //
 // The metrics subcommand scrapes a live -metrics-addr endpoint and
-// pretty-prints the exposition (see metrics.go).
+// pretty-prints the exposition (see metrics.go); journal and diff read
+// flight-recorder dumps and report cross-node divergence (see journal.go).
 package main
 
 import (
@@ -25,12 +28,23 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "metrics" {
-		if err := runMetricsCmd(os.Args[2:]); err != nil {
-			fmt.Fprintf(os.Stderr, "nezha-inspect: %v\n", err)
-			os.Exit(1)
+	if len(os.Args) > 1 {
+		var sub func([]string) error
+		switch os.Args[1] {
+		case "metrics":
+			sub = runMetricsCmd
+		case "journal":
+			sub = runJournalCmd
+		case "diff":
+			sub = runDiffCmd
 		}
-		return
+		if sub != nil {
+			if err := sub(os.Args[2:]); err != nil {
+				fmt.Fprintf(os.Stderr, "nezha-inspect: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
 	}
 	if err := run(); err != nil {
 		fmt.Fprintf(os.Stderr, "nezha-inspect: %v\n", err)

@@ -110,22 +110,39 @@ func printMVCCSummary(fams map[string]*expoFamily, shown []string) {
 		}
 		return fmt.Sprintf("%.1f%%", 100*num/den)
 	}
-	fmt.Println("mvcc summary")
-	hits, _ := total("nezha_mvcc_cache_hits_total")
-	misses, _ := total("nezha_mvcc_cache_misses_total")
-	fmt.Printf("  %-28s %s (%s hits, %s misses)\n", "version-cache hit rate",
-		ratio(hits, hits+misses), formatNum(hits), formatNum(misses))
-	pf, _ := total("nezha_mvcc_prefetched_keys_total")
-	pfHits, _ := total("nezha_mvcc_prefetch_hits_total")
+	// Each derived line prints only when the families it folds are actually
+	// in the scrape — a node that never created the MVCC cache (or a
+	// -filter that excluded a family) must not yield fabricated zeros.
+	printed := false
+	header := func() {
+		if !printed {
+			fmt.Println("mvcc summary")
+			printed = true
+		}
+	}
+	hits, okH := total("nezha_mvcc_cache_hits_total")
+	misses, okM := total("nezha_mvcc_cache_misses_total")
+	if okH || okM {
+		header()
+		fmt.Printf("  %-28s %s (%s hits, %s misses)\n", "version-cache hit rate",
+			ratio(hits, hits+misses), formatNum(hits), formatNum(misses))
+	}
+	pf, okPf := total("nezha_mvcc_prefetched_keys_total")
+	pfHits, okPfH := total("nezha_mvcc_prefetch_hits_total")
 	pfSkip, _ := total("nezha_mvcc_prefetch_skipped_total")
-	fmt.Printf("  %-28s %s (%s warmed, %s used, %s skipped warm)\n", "prefetch hit rate",
-		ratio(pfHits, pf), formatNum(pf), formatNum(pfHits), formatNum(pfSkip))
+	if okPf || okPfH {
+		header()
+		fmt.Printf("  %-28s %s (%s warmed, %s used, %s skipped warm)\n", "prefetch hit rate",
+			ratio(pfHits, pf), formatNum(pf), formatNum(pfHits), formatNum(pfSkip))
+	}
 	if gc, ok := total("nezha_mvcc_gc_versions_total"); ok {
+		header()
 		fmt.Printf("  %-28s %s\n", "versions folded by GC", formatNum(gc))
 	}
 	chains, okC := total("nezha_mvcc_live_chains")
 	versions, okV := total("nezha_mvcc_live_versions")
 	if okC || okV {
+		header()
 		fmt.Printf("  %-28s %s chains / %s versions\n", "live state", formatNum(chains), formatNum(versions))
 	}
 	if f, ok := fams["nezha_mvcc_chain_depth"]; ok {
@@ -139,8 +156,12 @@ func printMVCCSummary(fams map[string]*expoFamily, shown []string) {
 			}
 		}
 		if count > 0 {
+			header()
 			fmt.Printf("  %-28s %.2f versions (over %s GC observations)\n", "mean chain depth", sum/count, formatNum(count))
 		}
+	}
+	if !printed {
+		fmt.Println("mvcc summary: no derivable nezha_mvcc_* counters in this scrape")
 	}
 	fmt.Println()
 }

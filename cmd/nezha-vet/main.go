@@ -17,6 +17,7 @@ import (
 	"github.com/nezha-dag/nezha/internal/lint/detmap"
 	"github.com/nezha-dag/nezha/internal/lint/detsource"
 	"github.com/nezha-dag/nezha/internal/lint/failpoint"
+	"github.com/nezha-dag/nezha/internal/lint/journalhygiene"
 	"github.com/nezha-dag/nezha/internal/lint/locksafe"
 	"github.com/nezha-dag/nezha/internal/lint/metricshygiene"
 )
@@ -26,6 +27,7 @@ func main() {
 		detmap.Analyzer,
 		detsource.Analyzer,
 		failpoint.Analyzer,
+		journalhygiene.Analyzer,
 		locksafe.Analyzer,
 		metricshygiene.Analyzer,
 	)

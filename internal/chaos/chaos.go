@@ -44,6 +44,7 @@ import (
 	"github.com/nezha-dag/nezha/internal/core"
 	"github.com/nezha-dag/nezha/internal/dag"
 	"github.com/nezha-dag/nezha/internal/fail"
+	"github.com/nezha-dag/nezha/internal/journal"
 	"github.com/nezha-dag/nezha/internal/kvstore"
 	"github.com/nezha-dag/nezha/internal/node"
 	"github.com/nezha-dag/nezha/internal/p2p"
@@ -98,6 +99,11 @@ type Config struct {
 	// once per mode, so an executor-specific convergence bug is pinned to
 	// its executor.
 	SnapshotExec bool
+	// JournalDir, when set, receives every node's flight-recorder journal
+	// (one <node>.journal per node) whether or not the scenario fails.
+	// When empty, journals are dumped only on failure, into a preserved
+	// temp directory named in the Failure.
+	JournalDir string
 	// Verbose, when set, receives the scenario's event log as it happens.
 	Verbose io.Writer
 }
@@ -131,13 +137,28 @@ type Failure struct {
 	Seed  int64
 	Round int
 	Msg   string
+	// JournalDir is where the per-node flight-recorder journals were
+	// dumped (empty only if the dump itself failed).
+	JournalDir string
+	// Divergence is the first-divergence forensics report from pairwise
+	// journal diffs — the earliest (epoch, kind) where two nodes recorded
+	// different deterministic events. Empty when the journals agree (the
+	// failure was a wedge or timeout, not a state split).
+	Divergence string
 }
 
 // Error implements error with the replay command inline, mirroring
 // internal/check's replayable failures.
 func (f *Failure) Error() string {
-	return fmt.Sprintf("chaos: seed %d round %d: %s (reproduce: nezha-chaos replay -seed %d)",
+	s := fmt.Sprintf("chaos: seed %d round %d: %s (reproduce: nezha-chaos replay -seed %d)",
 		f.Seed, f.Round, f.Msg, f.Seed)
+	if f.JournalDir != "" {
+		s += "; journals: " + f.JournalDir
+	}
+	if f.Divergence != "" {
+		s += "\n" + f.Divergence
+	}
+	return s
 }
 
 // Result reports one scenario.
@@ -246,6 +267,11 @@ type harness struct {
 // failure. Test-only diagnostics.
 var dbgHook func(*harness)
 
+// armHook, when non-nil, runs right after Run seeds the failpoint
+// substrate (which resets it first). Test-only: forensics meta-tests use
+// it to arm failpoints the fault schedule does not know about.
+var armHook func()
+
 // Run executes one scenario. The returned error reports harness setup
 // problems (an unwritable scratch dir); cluster misbehavior is reported
 // via Result.Failure so a sweep can keep going and collect seeds.
@@ -264,6 +290,15 @@ func Run(cfg Config) (*Result, error) {
 	fail.Reset()
 	fail.Seed(cfg.Seed)
 	defer fail.Reset()
+	if armHook != nil {
+		armHook()
+	}
+
+	// Fresh flight recorders for the scenario: every node journals from
+	// block zero, and a failure dumps them all (see dumpJournals).
+	journal.Reset()
+	journal.Enable()
+	defer journal.Disable()
 
 	h := &harness{
 		cfg:        cfg,
@@ -296,8 +331,54 @@ func Run(cfg Config) (*Result, error) {
 	if h.fail == nil {
 		h.converge()
 	}
+	h.dumpJournals()
 	h.res.Failure = h.fail
 	return h.res, nil
+}
+
+// dumpJournals writes every node's flight recorder to disk — always when
+// the scenario asked for a journal directory, and on failure otherwise
+// (into a preserved temp directory) — then runs pairwise diffs and embeds
+// the earliest divergence in the Failure. Dump problems are reported as
+// events, never as scenario failures: forensics must not mask the verdict.
+func (h *harness) dumpJournals() {
+	dir := h.cfg.JournalDir
+	if dir == "" {
+		if h.fail == nil {
+			return
+		}
+		tmp, err := os.MkdirTemp("", "nezha-journal-")
+		if err != nil {
+			h.eventf(h.cfg.Rounds, "journal dump failed: %v", err)
+			return
+		}
+		dir = tmp // deliberately preserved: it is the crash-dump artifact
+	}
+	if err := journal.DumpAll(dir); err != nil {
+		h.eventf(h.cfg.Rounds, "journal dump failed: %v", err)
+		return
+	}
+	if h.fail == nil {
+		return
+	}
+	h.fail.JournalDir = dir
+	// Pairwise first-divergence scan; report the earliest mismatch.
+	recs := journal.Recorders()
+	var first *journal.Divergence
+	for i := 0; i < len(recs); i++ {
+		for j := i + 1; j < len(recs); j++ {
+			d := journal.Diff(recs[i].Snapshot(), recs[j].Snapshot())
+			if d == nil {
+				continue
+			}
+			if first == nil || d.Epoch < first.Epoch {
+				first = d
+			}
+		}
+	}
+	if first != nil {
+		h.fail.Divergence = first.String()
+	}
 }
 
 // setup builds the workload, the network, and the initial cluster.
@@ -493,6 +574,7 @@ func (h *harness) applyFault(r int, f fault) {
 		fail.Enable(f.site, fail.Spec{Mode: fail.ModePanic, Tag: cn.id, Count: 1})
 		h.armedSites[f.site] = cn.id
 		cn.pending = &pendingCrash{site: f.site, forceAt: r + crashForceAfter, downFor: f.duration}
+		h.journalFault(cn, "crash", string(f.site))
 		h.eventf(r, "armed crash failpoint %s@%s", f.site, cn.id)
 	case faultStorage:
 		cn := h.pickAlive(f.node)
@@ -504,6 +586,7 @@ func (h *harness) applyFault(r int, f fault) {
 		}
 		fail.Enable(fail.KVApply, fail.Spec{Mode: fail.ModeError, Tag: cn.id, Count: 1})
 		h.armedSites[fail.KVApply] = cn.id
+		h.journalFault(cn, "storage", string(fail.KVApply))
 		h.eventf(r, "armed storage error kvstore/apply@%s", cn.id)
 	case faultPartition:
 		if h.healAt != 0 {
@@ -516,6 +599,7 @@ func (h *harness) applyFault(r int, f fault) {
 		h.minority = map[string]bool{cn.id: true}
 		h.net.Partition([]string{cn.id})
 		h.healAt = r + f.duration
+		h.journalFault(cn, "partition", "")
 		h.res.Partitions++
 		h.eventf(r, "partitioned %s away for %d rounds", cn.id, f.duration)
 	case faultStall:
@@ -529,6 +613,7 @@ func (h *harness) applyFault(r int, f fault) {
 		fail.Enable(fail.P2PDrop, fail.Spec{Mode: fail.ModeDrop, Tag: cn.id, Prob: 0.8, Count: 20})
 		h.armedSites[fail.P2PDrop] = cn.id
 		cn.stalledUntil = r + f.duration
+		h.journalFault(cn, "stall", string(fail.P2PDrop))
 		h.res.Stalls++
 		h.eventf(r, "stalling deliveries to %s for %d rounds", cn.id, f.duration)
 	}
@@ -610,6 +695,7 @@ func (h *harness) kill(r int, cn *chaosNode, why string) {
 	}
 	cn.down = true
 	cn.restartAt = r + downFor
+	journal.For(cn.id).Emit(journal.ChaosKill, 0, journal.FS("why", why))
 	h.net.SetDown(cn.id, true)
 	cn.n, cn.store, cn.miner, cn.syncer = nil, nil, nil, nil
 	h.res.CrashRestarts++
@@ -636,6 +722,7 @@ func (h *harness) restart(r int, cn *chaosNode) {
 	cn.ep.Drain()
 	h.net.SetDown(cn.id, false)
 	cn.down = false
+	journal.For(cn.id).Emit(journal.ChaosRestart, cn.n.NextEpoch())
 	h.eventf(r, "%s restarted at epoch %d", cn.id, cn.n.NextEpoch())
 }
 
@@ -781,7 +868,23 @@ func benign(err error) bool {
 		errors.Is(err, dag.ErrUnknownParent)
 }
 
+// journalFault records an armed fault in the target node's journal —
+// chaos/* events are forensic context, tying what the harness did to
+// what the node subsequently recorded.
+func (h *harness) journalFault(cn *chaosNode, kind, site string) {
+	fields := []journal.Field{journal.FS("kind", kind)}
+	if site != "" {
+		fields = append(fields, journal.FS("site", site))
+	}
+	journal.For(cn.id).Emit(journal.ChaosFault, 0, fields...)
+}
+
 func (h *harness) dispatch(r int, cn *chaosNode, msg p2p.Message) {
+	// A delivered message carries the sender's logical clock: witnessing it
+	// makes cross-node journal timelines causally comparable.
+	if msg.From != "" && journal.Enabled() {
+		journal.For(cn.id).Witness(journal.For(msg.From).Clock())
+	}
 	switch msg.Type {
 	case p2p.MsgBlock:
 		h.guard(r, cn, func() error {

@@ -1,0 +1,115 @@
+package chaos
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/nezha-dag/nezha/internal/fail"
+	"github.com/nezha-dag/nezha/internal/journal"
+)
+
+// TestForcedDivergenceYieldsForensics is the end-to-end meta-test for the
+// flight recorder: force a real single-node root divergence (the
+// node/diverge-root failpoint flips one bit of one reported epoch root),
+// let the harness detect it, and require the Failure to carry per-node
+// journal dumps plus a first-divergence report that names the earliest
+// mismatched deterministic event.
+func TestForcedDivergenceYieldsForensics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node chaos scenario")
+	}
+	armHook = func() {
+		fail.Enable(fail.NodeDivergeRoot, fail.Spec{Mode: fail.ModeError, Tag: "n1", Count: 1})
+	}
+	defer func() { armHook = nil }()
+
+	res, err := Run(Config{Seed: 5, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	f := res.Failure
+	if f == nil {
+		t.Fatal("perturbed root did not fail the scenario")
+	}
+	if !strings.Contains(f.Msg, "state divergence") {
+		t.Fatalf("failure is not a state divergence: %s", f.Msg)
+	}
+
+	if f.JournalDir == "" {
+		t.Fatal("failure carries no journal dump directory")
+	}
+	defer os.RemoveAll(f.JournalDir) // the preserved crash-dump artifact
+	entries, err := os.ReadDir(f.JournalDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("dumped %d journals, want one per node (4)", len(entries))
+	}
+	var n1Committed bool
+	for _, de := range entries {
+		evs, err := journal.ReadFile(filepath.Join(f.JournalDir, de.Name()))
+		if err != nil {
+			t.Fatalf("unparseable journal %s: %v", de.Name(), err)
+		}
+		if len(evs) == 0 {
+			t.Fatalf("journal %s is empty", de.Name())
+		}
+		for _, e := range evs {
+			if e.Node == "n1" && e.Kind == journal.NodeEpochCommit {
+				n1Committed = true
+			}
+		}
+	}
+	if !n1Committed {
+		t.Fatal("n1's journal has no epoch-commit events to diverge on")
+	}
+
+	if f.Divergence == "" {
+		t.Fatal("failure carries no first-divergence report")
+	}
+	for _, want := range []string{"first divergence", string(journal.NodeEpochCommit), "n1"} {
+		if !strings.Contains(f.Divergence, want) {
+			t.Errorf("divergence report missing %q:\n%s", want, f.Divergence)
+		}
+	}
+	if !strings.Contains(f.Error(), "journals: "+f.JournalDir) {
+		t.Errorf("Failure.Error() does not name the journal dir:\n%s", f.Error())
+	}
+}
+
+// TestJournalDumpOnRequest: a passing scenario with JournalDir set still
+// dumps every node's journal, and pairwise diffs find nothing.
+func TestJournalDumpOnRequest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node chaos scenario")
+	}
+	dir := t.TempDir()
+	res, err := Run(Config{Seed: 2, Dir: t.TempDir(), JournalDir: dir})
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	if res.Failure != nil {
+		t.Fatal(res.Failure.Error())
+	}
+	var journals [][]journal.Event
+	for _, node := range []string{"n0", "n1", "n2", "n3"} {
+		evs, err := journal.ReadFile(filepath.Join(dir, node+".journal"))
+		if err != nil {
+			t.Fatalf("%s: %v", node, err)
+		}
+		if len(evs) == 0 {
+			t.Fatalf("%s journal is empty", node)
+		}
+		journals = append(journals, evs)
+	}
+	for i := range journals {
+		for j := i + 1; j < len(journals); j++ {
+			if d := journal.Diff(journals[i], journals[j]); d != nil {
+				t.Errorf("converged cluster's journals diverge:\n%s", d.String())
+			}
+		}
+	}
+}

@@ -27,6 +27,7 @@ const (
 	NodeSubmit        Name = "node/submit"         // transaction submission
 	NodePersist       Name = "node/persist"        // epoch persistence, before the store write
 	NodePersistDone   Name = "node/persist-done"   // epoch persistence, after the commit point
+	NodeDivergeRoot   Name = "node/diverge-root"   // corrupt the reported epoch root (journal forensics meta-tests)
 	NodeStageValidate Name = "node/stage-validate" // handoff into the validate stage
 	NodeStageExecute  Name = "node/stage-execute"  // handoff into the execute stage
 	NodeStageSchedule Name = "node/stage-schedule" // handoff into the schedule stage

@@ -1,0 +1,259 @@
+package journal
+
+// Export/import for journal dumps. Two formats over the same events:
+//
+//   - Binary (magic "NZJRNL1\n" + uvarint-packed records): what DumpAll
+//     writes — compact, allocation-light, and append-friendly.
+//   - JSONL (one JSON object per line): what scripting and jq want.
+//
+// ReadFile sniffs the magic so the inspect CLI takes either.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// magic is the binary journal header.
+var magic = []byte("NZJRNL1\n")
+
+// ErrBadFormat reports a journal stream that is neither binary nor JSONL.
+var ErrBadFormat = errors.New("journal: unrecognized format")
+
+// Write encodes events to the binary format.
+func Write(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic); err != nil {
+		return err
+	}
+	var buf []byte
+	for i := range events {
+		buf = appendEvent(buf[:0], &events[i])
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// appendEvent packs one record: fixed-order uvarints with length-prefixed
+// strings. Wall is stored as a uint64 bit pattern (it is a positive
+// nanosecond count everywhere it matters).
+func appendEvent(buf []byte, e *Event) []byte {
+	buf = binary.AppendUvarint(buf, e.Seq)
+	buf = binary.AppendUvarint(buf, uint64(e.Wall))
+	buf = binary.AppendUvarint(buf, e.LC)
+	buf = appendString(buf, e.Node)
+	buf = appendString(buf, string(e.Kind))
+	buf = binary.AppendUvarint(buf, e.Epoch)
+	buf = binary.AppendUvarint(buf, uint64(e.NumFields))
+	for i := 0; i < int(e.NumFields); i++ {
+		f := e.Fields[i]
+		buf = appendString(buf, f.Key)
+		buf = binary.AppendUvarint(buf, f.Val)
+		buf = appendString(buf, f.Str)
+	}
+	return buf
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// Read decodes a binary journal stream.
+func Read(r io.Reader) ([]Event, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if !bytes.Equal(head, magic) {
+		return nil, ErrBadFormat
+	}
+	var out []Event
+	for {
+		ev, err := readEvent(br)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("journal: record %d: %w", len(out), err)
+		}
+		out = append(out, ev)
+	}
+}
+
+func readEvent(br *bufio.Reader) (Event, error) {
+	var e Event
+	seq, err := binary.ReadUvarint(br)
+	if err != nil {
+		// A clean EOF before the first byte of a record is end-of-stream;
+		// anything torn mid-record is corruption.
+		if err == io.EOF {
+			return e, io.EOF
+		}
+		return e, err
+	}
+	e.Seq = seq
+	wall, err := readUvarint(br)
+	if err != nil {
+		return e, err
+	}
+	e.Wall = int64(wall)
+	if e.LC, err = readUvarint(br); err != nil {
+		return e, err
+	}
+	if e.Node, err = readString(br); err != nil {
+		return e, err
+	}
+	kind, err := readString(br)
+	if err != nil {
+		return e, err
+	}
+	e.Kind = Kind(kind)
+	if e.Epoch, err = readUvarint(br); err != nil {
+		return e, err
+	}
+	nf, err := readUvarint(br)
+	if err != nil {
+		return e, err
+	}
+	if nf > MaxFields {
+		return e, fmt.Errorf("field count %d exceeds %d", nf, MaxFields)
+	}
+	e.NumFields = uint8(nf)
+	for i := 0; i < int(nf); i++ {
+		if e.Fields[i].Key, err = readString(br); err != nil {
+			return e, err
+		}
+		if e.Fields[i].Val, err = readUvarint(br); err != nil {
+			return e, err
+		}
+		if e.Fields[i].Str, err = readString(br); err != nil {
+			return e, err
+		}
+	}
+	return e, nil
+}
+
+// readUvarint is ReadUvarint with mid-record EOF promoted to a hard error.
+func readUvarint(br *bufio.Reader) (uint64, error) {
+	v, err := binary.ReadUvarint(br)
+	if err == io.EOF {
+		return 0, io.ErrUnexpectedEOF
+	}
+	return v, err
+}
+
+// maxStringLen bounds decoded string lengths so a corrupt length prefix
+// cannot drive an absurd allocation.
+const maxStringLen = 1 << 16
+
+func readString(br *bufio.Reader) (string, error) {
+	n, err := readUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("string length %d exceeds %d", n, maxStringLen)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(br, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// eventJSON is the JSONL wire shape (fields trimmed to NumFields).
+type eventJSON struct {
+	Seq    uint64  `json:"seq"`
+	Wall   int64   `json:"wall"`
+	LC     uint64  `json:"lc"`
+	Node   string  `json:"node"`
+	Kind   Kind    `json:"kind"`
+	Epoch  uint64  `json:"epoch"`
+	Fields []Field `json:"fields,omitempty"`
+}
+
+// WriteJSONL encodes events one JSON object per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		e := &events[i]
+		ej := eventJSON{
+			Seq: e.Seq, Wall: e.Wall, LC: e.LC,
+			Node: e.Node, Kind: e.Kind, Epoch: e.Epoch,
+		}
+		if e.NumFields > 0 {
+			ej.Fields = append(ej.Fields, e.Fields[:e.NumFields]...)
+		}
+		if err := enc.Encode(&ej); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL decodes a JSONL journal stream.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ej eventJSON
+		if err := json.Unmarshal(line, &ej); err != nil {
+			return nil, fmt.Errorf("journal: line %d: %w", len(out)+1, err)
+		}
+		if len(ej.Fields) > MaxFields {
+			return nil, fmt.Errorf("journal: line %d: field count %d exceeds %d", len(out)+1, len(ej.Fields), MaxFields)
+		}
+		e := Event{
+			Seq: ej.Seq, Wall: ej.Wall, LC: ej.LC,
+			Node: ej.Node, Kind: ej.Kind, Epoch: ej.Epoch,
+			NumFields: uint8(len(ej.Fields)),
+		}
+		copy(e.Fields[:], ej.Fields)
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteFile writes a binary journal file.
+func WriteFile(path string, events []Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a journal file, sniffing the format: the binary magic
+// first, JSONL otherwise.
+func ReadFile(path string) ([]Event, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if bytes.HasPrefix(raw, magic) {
+		return Read(bytes.NewReader(raw))
+	}
+	return ReadJSONL(bytes.NewReader(raw))
+}

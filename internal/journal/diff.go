@@ -1,0 +1,287 @@
+package journal
+
+// Cross-node divergence forensics: align two nodes' journals on their
+// deterministic events — keyed by (epoch, kind), the coordinates every
+// honest replica must agree on — and report the first place they do not.
+//
+// Only kinds marked Deterministic participate in alignment: their
+// payloads derive purely from epoch content, so a payload mismatch IS
+// the divergence (or its earliest visible symptom). Everything else in
+// the journals — sync traffic, stage timings, MVCC generations, fault
+// arming — is kept as surrounding context in the report, because it
+// explains how the nodes got to the diverging event.
+//
+// Two extra signals fall out of the same pass:
+//
+//   - Self-inconsistency: a node that crashed before persisting an epoch
+//     re-processes it after restart, so one journal can carry the same
+//     (epoch, kind) twice. Determinism says both occurrences must carry
+//     identical payloads; if they differ, the node disagreed with ITSELF
+//     across a replay — a stronger localization than any cross-node diff.
+//   - Truncation: epochs past the shorter journal's horizon are noted,
+//     not reported as divergence — a node that is merely behind has not
+//     diverged.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// diffKey is the alignment coordinate.
+type diffKey struct {
+	Epoch uint64
+	Kind  Kind
+}
+
+// kindOrder fixes a canonical order for kinds sharing an epoch, so "first
+// divergence" is well-defined. Pipeline order: discards happen during
+// validation, the group layout during scheduling, the commit last.
+var kindOrder = map[Kind]int{
+	NodeBlockDiscard: 0,
+	SchedGroups:      1,
+	NodeEpochCommit:  2,
+}
+
+func keyLess(a, b diffKey) bool {
+	if a.Epoch != b.Epoch {
+		return a.Epoch < b.Epoch
+	}
+	return kindOrder[a.Kind] < kindOrder[b.Kind]
+}
+
+// Divergence is one diff verdict: the earliest aligned coordinate where
+// the two journals disagree, with surrounding context from each side.
+type Divergence struct {
+	ANode, BNode string
+	Epoch        uint64
+	Kind         Kind
+	// A and B are the mismatched events; one is nil when the coordinate
+	// is missing on that side. For a self-inconsistency both come from
+	// the same node (ANode == BNode): the two occurrences that disagree.
+	A, B *Event
+	// Reason classifies the mismatch: "payload mismatch", "missing on
+	// <node>", or "self-inconsistent on <node>".
+	Reason string
+	// ContextA/ContextB are the events (all kinds) surrounding the
+	// mismatch in each node's journal, for the causal read-back.
+	ContextA, ContextB []Event
+	// Truncated notes the horizon difference when one journal ends at an
+	// earlier epoch ("" when both cover the same epochs).
+	Truncated string
+}
+
+// side is one journal's deterministic index.
+type side struct {
+	node string
+	all  []Event // full journal, Seq order
+	last map[diffKey]Event
+	// selfBad is the earliest key whose repeated occurrences disagree.
+	selfBad   *diffKey
+	selfA     Event
+	selfB     Event
+	maxEpoch  uint64
+	hasEvents bool
+}
+
+// indexSide builds one journal's deterministic index.
+func indexSide(events []Event) *side {
+	s := &side{
+		all:  append([]Event(nil), events...),
+		last: make(map[diffKey]Event),
+	}
+	sort.SliceStable(s.all, func(i, j int) bool { return s.all[i].Seq < s.all[j].Seq })
+	for _, e := range s.all {
+		if s.node == "" {
+			s.node = e.Node
+		}
+		if !Deterministic(e.Kind) {
+			continue
+		}
+		s.hasEvents = true
+		if e.Epoch > s.maxEpoch {
+			s.maxEpoch = e.Epoch
+		}
+		k := diffKey{Epoch: e.Epoch, Kind: e.Kind}
+		if prev, seen := s.last[k]; seen && !prev.PayloadEqual(e) {
+			if s.selfBad == nil || keyLess(k, *s.selfBad) {
+				kk := k
+				s.selfBad, s.selfA, s.selfB = &kk, prev, e
+			}
+		}
+		s.last[k] = e
+	}
+	return s
+}
+
+// context returns up to n events on each side of the event with sequence
+// seq in the journal's Seq order (the event itself included).
+func (s *side) context(seq uint64, n int) []Event {
+	i := sort.Search(len(s.all), func(i int) bool { return s.all[i].Seq >= seq })
+	lo, hi := i-n, i+n+1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s.all) {
+		hi = len(s.all)
+	}
+	return s.all[lo:hi]
+}
+
+// DefaultContext is how many surrounding events Diff attaches per side.
+const DefaultContext = 6
+
+// Diff aligns two journals and returns the first divergence, or nil when
+// every aligned deterministic event matches (a node that is merely
+// behind — shorter horizon — does not diverge).
+func Diff(a, b []Event) *Divergence {
+	return DiffContext(a, b, DefaultContext)
+}
+
+// DiffContext is Diff with an explicit context width.
+func DiffContext(a, b []Event, contextN int) *Divergence {
+	sa, sb := indexSide(a), indexSide(b)
+	if sa.node == "" {
+		sa.node = "a"
+	}
+	if sb.node == "" {
+		sb.node = "b"
+	}
+
+	// Comparison horizon: epochs both journals reached. Beyond it the
+	// shorter journal is truncated, not divergent.
+	horizon := sa.maxEpoch
+	truncated := ""
+	if sb.maxEpoch < horizon {
+		horizon = sb.maxEpoch
+	}
+	if sa.maxEpoch != sb.maxEpoch {
+		short, shortMax, longMax := sb.node, sb.maxEpoch, sa.maxEpoch
+		if sa.maxEpoch < sb.maxEpoch {
+			short, shortMax, longMax = sa.node, sa.maxEpoch, sb.maxEpoch
+		}
+		truncated = fmt.Sprintf("%s's journal ends at epoch %d (peer reaches %d); epochs beyond %d not compared",
+			short, shortMax, longMax, horizon)
+	}
+
+	keys := make([]diffKey, 0, len(sa.last)+len(sb.last))
+	seen := make(map[diffKey]bool, len(sa.last)+len(sb.last))
+	for k := range sa.last {
+		if k.Epoch <= horizon && !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	for k := range sb.last {
+		if k.Epoch <= horizon && !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+
+	var cross *Divergence
+	for _, k := range keys {
+		ea, okA := sa.last[k]
+		eb, okB := sb.last[k]
+		switch {
+		case okA && okB:
+			if ea.PayloadEqual(eb) {
+				continue
+			}
+			cross = &Divergence{
+				ANode: sa.node, BNode: sb.node, Epoch: k.Epoch, Kind: k.Kind,
+				A: &ea, B: &eb, Reason: "payload mismatch",
+			}
+		case okA:
+			cross = &Divergence{
+				ANode: sa.node, BNode: sb.node, Epoch: k.Epoch, Kind: k.Kind,
+				A: &ea, Reason: fmt.Sprintf("missing on %s", sb.node),
+			}
+		default:
+			cross = &Divergence{
+				ANode: sa.node, BNode: sb.node, Epoch: k.Epoch, Kind: k.Kind,
+				B: &eb, Reason: fmt.Sprintf("missing on %s", sa.node),
+			}
+		}
+		break
+	}
+
+	// A self-inconsistency at or before the cross divergence is the
+	// sharper finding: the node contradicted itself across a replay.
+	d := cross
+	for _, s := range []*side{sa, sb} {
+		if s.selfBad == nil || s.selfBad.Epoch > horizon {
+			continue
+		}
+		if d == nil || !keyLess(diffKey{Epoch: d.Epoch, Kind: d.Kind}, *s.selfBad) {
+			a1, b1 := s.selfA, s.selfB
+			d = &Divergence{
+				ANode: s.node, BNode: s.node, Epoch: s.selfBad.Epoch, Kind: s.selfBad.Kind,
+				A: &a1, B: &b1, Reason: fmt.Sprintf("self-inconsistent on %s", s.node),
+			}
+		}
+	}
+	if d == nil {
+		// Identical as far as both journals go: a shorter horizon alone
+		// (a node merely behind) is not a divergence.
+		return nil
+	}
+	d.Truncated = truncated
+	if d.ANode == d.BNode {
+		// Self-inconsistency: both contexts come from the one journal.
+		s := sa
+		if s.node != d.ANode {
+			s = sb
+		}
+		if d.A != nil {
+			d.ContextA = s.context(d.A.Seq, contextN)
+		}
+		if d.B != nil {
+			d.ContextB = s.context(d.B.Seq, contextN)
+		}
+		return d
+	}
+	if d.A != nil {
+		d.ContextA = sa.context(d.A.Seq, contextN)
+	}
+	if d.B != nil {
+		d.ContextB = sb.context(d.B.Seq, contextN)
+	}
+	return d
+}
+
+// String renders the divergence report: the verdict line, the two
+// mismatched events, and the surrounding context from each journal.
+func (d *Divergence) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "first divergence at epoch %d, kind %s (%s)\n", d.Epoch, d.Kind, d.Reason)
+	if d.Truncated != "" {
+		fmt.Fprintf(&b, "note: %s\n", d.Truncated)
+	}
+	writeSide := func(label string, e *Event, ctx []Event) {
+		if e == nil {
+			fmt.Fprintf(&b, "  %s: (no event)\n", label)
+			return
+		}
+		fmt.Fprintf(&b, "  %s: %s\n", label, e.String())
+		if len(ctx) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "  context (%s):\n", label)
+		for _, c := range ctx {
+			marker := "   "
+			if c.Seq == e.Seq && c.Kind == e.Kind {
+				marker = " > "
+			}
+			fmt.Fprintf(&b, "  %s%s\n", marker, c.String())
+		}
+	}
+	aLabel, bLabel := d.ANode, d.BNode
+	if d.ANode == d.BNode {
+		aLabel, bLabel = d.ANode+" (first)", d.BNode+" (replay)"
+	}
+	writeSide(aLabel, d.A, d.ContextA)
+	writeSide(bLabel, d.B, d.ContextB)
+	return b.String()
+}

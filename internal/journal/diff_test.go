@@ -1,0 +1,155 @@
+package journal
+
+import (
+	"strings"
+	"testing"
+)
+
+// mkJournal builds a synthetic per-node journal: for each epoch a
+// schedule event, a commit event, and some non-deterministic context
+// (sync traffic), with sequence numbers in emit order.
+func mkJournal(node string, epochs int, mutate func(e *Event)) []Event {
+	var out []Event
+	seq := uint64(0)
+	emit := func(kind Kind, epoch uint64, fields ...Field) {
+		e := Event{Seq: seq, Wall: int64(seq), LC: seq, Node: node, Kind: kind, Epoch: epoch}
+		e.NumFields = uint8(copy(e.Fields[:], fields))
+		if mutate != nil {
+			mutate(&e)
+		}
+		out = append(out, e)
+		seq++
+	}
+	for ep := uint64(1); ep <= uint64(epochs); ep++ {
+		emit(SyncRequest, ep, FS("peer", "nX"))
+		emit(SchedGroups, ep, F("groups", 3+ep%2), F("digest", ep*101))
+		emit(StateCommit, ep, F("writes", 12))
+		emit(NodeEpochCommit, ep, F("root", ep*0x1000), F("committed", 40))
+	}
+	return out
+}
+
+func TestDiffIdenticalJournals(t *testing.T) {
+	a := mkJournal("n0", 6, nil)
+	b := mkJournal("n1", 6, nil)
+	if d := Diff(a, b); d != nil {
+		t.Fatalf("identical journals diverged: %s", d.String())
+	}
+}
+
+// TestDiffPinpointsPlantedDivergence is the meta-test for the forensics
+// path: plant a single differing event deep in one journal and require
+// the diff to name exactly that coordinate.
+func TestDiffPinpointsPlantedDivergence(t *testing.T) {
+	a := mkJournal("n0", 8, nil)
+	b := mkJournal("n1", 8, func(e *Event) {
+		if e.Kind == NodeEpochCommit && e.Epoch == 5 {
+			e.Fields[0].Val ^= 1 // one bit of one root in one epoch
+		}
+	})
+	d := Diff(a, b)
+	if d == nil {
+		t.Fatal("planted divergence not found")
+	}
+	if d.Epoch != 5 || d.Kind != NodeEpochCommit {
+		t.Fatalf("divergence at (epoch %d, %s), want (5, %s)", d.Epoch, d.Kind, NodeEpochCommit)
+	}
+	if d.Reason != "payload mismatch" {
+		t.Fatalf("reason %q, want payload mismatch", d.Reason)
+	}
+	if d.A == nil || d.B == nil || d.A.Fields[0].Val == d.B.Fields[0].Val {
+		t.Fatal("divergence does not carry the two mismatched events")
+	}
+	if len(d.ContextA) == 0 || len(d.ContextB) == 0 {
+		t.Fatal("divergence carries no surrounding context")
+	}
+	rep := d.String()
+	for _, want := range []string{"epoch 5", "node/epoch-commit", "payload mismatch", "n0", "n1"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestDiffEarliestDivergenceWins(t *testing.T) {
+	a := mkJournal("n0", 8, nil)
+	b := mkJournal("n1", 8, func(e *Event) {
+		// Two plants: the schedule split at epoch 3 must outrank the root
+		// mismatch at epoch 6 — and within one epoch, pipeline order ranks
+		// SchedGroups before NodeEpochCommit.
+		if e.Kind == SchedGroups && e.Epoch == 3 {
+			e.Fields[1].Val++
+		}
+		if e.Kind == NodeEpochCommit && (e.Epoch == 3 || e.Epoch == 6) {
+			e.Fields[0].Val ^= 1
+		}
+	})
+	d := Diff(a, b)
+	if d == nil {
+		t.Fatal("divergence not found")
+	}
+	if d.Epoch != 3 || d.Kind != SchedGroups {
+		t.Fatalf("first divergence at (epoch %d, %s), want (3, %s)", d.Epoch, d.Kind, SchedGroups)
+	}
+}
+
+func TestDiffMissingEvent(t *testing.T) {
+	a := mkJournal("n0", 6, nil)
+	var b []Event
+	for _, e := range mkJournal("n1", 6, nil) {
+		if e.Kind == NodeEpochCommit && e.Epoch == 4 {
+			continue // n1 never committed epoch 4 but kept going
+		}
+		b = append(b, e)
+	}
+	d := Diff(a, b)
+	if d == nil {
+		t.Fatal("missing event not reported")
+	}
+	if d.Epoch != 4 || d.Kind != NodeEpochCommit || !strings.Contains(d.Reason, "missing on n1") {
+		t.Fatalf("got (epoch %d, %s, %q), want epoch 4 commit missing on n1", d.Epoch, d.Kind, d.Reason)
+	}
+}
+
+func TestDiffLaggingNodeIsNotDivergent(t *testing.T) {
+	a := mkJournal("n0", 8, nil)
+	b := mkJournal("n1", 5, nil) // merely behind
+	if d := Diff(a, b); d != nil {
+		t.Fatalf("lagging journal reported as divergence: %s", d.String())
+	}
+	// But a real mismatch inside the shared horizon still reports, with
+	// the truncation noted.
+	b[len(b)-1].Fields[0].Val ^= 1
+	d := Diff(a, b)
+	if d == nil {
+		t.Fatal("mismatch within horizon not found")
+	}
+	if d.Epoch != 5 || d.Truncated == "" || !strings.Contains(d.Truncated, "ends at epoch 5") {
+		t.Fatalf("got epoch %d truncated %q, want epoch 5 with truncation note", d.Epoch, d.Truncated)
+	}
+}
+
+func TestDiffSelfInconsistency(t *testing.T) {
+	// n0 crashed after epoch 3 and re-processed it on restart with a
+	// different result: the same (epoch, kind) appears twice in ONE
+	// journal with different payloads. That outranks the cross-node
+	// mismatch it causes at the same coordinate.
+	a := mkJournal("n0", 6, nil)
+	replay := Event{Seq: uint64(len(a)), Node: "n0", Kind: NodeEpochCommit, Epoch: 3}
+	replay.NumFields = uint8(copy(replay.Fields[:], []Field{F("root", 0x3000^1), F("committed", 40)}))
+	a = append(a, replay)
+	b := mkJournal("n1", 6, nil)
+	d := Diff(a, b)
+	if d == nil {
+		t.Fatal("self-inconsistency not found")
+	}
+	if !strings.Contains(d.Reason, "self-inconsistent on n0") {
+		t.Fatalf("reason %q, want self-inconsistent on n0", d.Reason)
+	}
+	if d.ANode != "n0" || d.BNode != "n0" || d.Epoch != 3 {
+		t.Fatalf("got %s/%s epoch %d, want both sides n0 at epoch 3", d.ANode, d.BNode, d.Epoch)
+	}
+	if !strings.Contains(d.String(), "(replay)") {
+		t.Errorf("report does not label the replayed occurrence:\n%s", d.String())
+	}
+}

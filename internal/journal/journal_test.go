@@ -1,0 +1,317 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// withEnabled runs a test body with recording on, restoring the previous
+// state after (the gate is process-global).
+func withEnabled(t *testing.T, fn func()) {
+	t.Helper()
+	prev := Enabled()
+	Enable()
+	defer func() {
+		if !prev {
+			Disable()
+		}
+	}()
+	fn()
+}
+
+func TestRingWrapAround(t *testing.T) {
+	withEnabled(t, func() {
+		r := newRecorder("wrap", 8)
+		for i := 0; i < 20; i++ {
+			r.Emit(NodeEpochCommit, uint64(i), F("root", uint64(i)*10))
+		}
+		if got := r.Len(); got != 8 {
+			t.Fatalf("Len() = %d, want ring capacity 8", got)
+		}
+		evs := r.Snapshot()
+		if len(evs) != 8 {
+			t.Fatalf("Snapshot returned %d events, want 8", len(evs))
+		}
+		// Oldest retained event is emit 12 (20 emits into an 8-slot ring);
+		// sequences must be contiguous and payloads must match their seq.
+		for i, e := range evs {
+			wantSeq := uint64(12 + i)
+			if e.Seq != wantSeq {
+				t.Errorf("event %d: seq %d, want %d", i, e.Seq, wantSeq)
+			}
+			if e.Epoch != wantSeq || e.Fields[0].Val != wantSeq*10 {
+				t.Errorf("event %d: epoch %d root %d, want %d/%d (torn slot?)",
+					i, e.Epoch, e.Fields[0].Val, wantSeq, wantSeq*10)
+			}
+		}
+	})
+}
+
+func TestConcurrentEmitters(t *testing.T) {
+	withEnabled(t, func() {
+		r := newRecorder("conc", 64)
+		const workers, perWorker = 4, 500
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					e := uint64(w*perWorker + i)
+					r.Emit(SchedGroups, e, F("groups", e), F("digest", e*7))
+				}
+			}(w)
+		}
+		wg.Wait()
+		if got := r.seq.Load(); got != workers*perWorker {
+			t.Fatalf("reserved %d sequences, want %d", got, workers*perWorker)
+		}
+		// Every snapshotted event must be internally consistent: the slot
+		// mutex means fields always belong to the epoch they were emitted
+		// with, even when emitters raced on neighboring slots.
+		for _, e := range r.Snapshot() {
+			if e.Fields[0].Val != e.Epoch || e.Fields[1].Val != e.Epoch*7 {
+				t.Fatalf("torn event: %s", e.String())
+			}
+		}
+	})
+}
+
+func TestSnapshotDuringEmits(t *testing.T) {
+	withEnabled(t, func() {
+		r := newRecorder("live", 16)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					r.Emit(StateCommit, i, F("root", i))
+				}
+			}
+		}()
+		for i := 0; i < 50; i++ {
+			for _, e := range r.Snapshot() {
+				if e.Fields[0].Val != e.Epoch {
+					t.Errorf("inconsistent event from live snapshot: %s", e.String())
+				}
+			}
+		}
+		close(stop)
+		wg.Wait()
+	})
+}
+
+func TestDisabledEmitDoesNotAllocate(t *testing.T) {
+	Disable()
+	r := newRecorder("noalloc", 8)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		r.Emit(NodeEpochCommit, 1)
+	}); allocs != 0 {
+		t.Errorf("disabled Emit allocated %.1f times per op, want 0", allocs)
+	}
+	var nilRec *Recorder
+	if allocs := testing.AllocsPerRun(1000, func() {
+		nilRec.Emit(NodeEpochCommit, 1, F("root", 2))
+	}); allocs != 0 {
+		t.Errorf("nil-recorder Emit allocated %.1f times per op, want 0", allocs)
+	}
+	if r.Len() != 0 {
+		t.Errorf("disabled Emit recorded %d events, want 0", r.Len())
+	}
+}
+
+func TestEnabledEmitAllocBudget(t *testing.T) {
+	withEnabled(t, func() {
+		r := newRecorder("budget", 1024)
+		if allocs := testing.AllocsPerRun(500, func() {
+			r.Emit(NodeEpochCommit, 3, F("root", 7), F("committed", 9))
+		}); allocs > 1 {
+			t.Errorf("enabled Emit allocated %.1f times per op, want <= 1", allocs)
+		}
+	})
+}
+
+func TestForReturnsSameRecorderAndResetDrops(t *testing.T) {
+	Reset()
+	a, b := For("same"), For("same")
+	if a != b {
+		t.Fatal("For returned two recorders for one node id")
+	}
+	For("other")
+	recs := Recorders()
+	if len(recs) != 2 || recs[0].Node() != "other" || recs[1].Node() != "same" {
+		t.Fatalf("Recorders() = %v, want [other same]", recs)
+	}
+	Reset()
+	if got := Recorders(); len(got) != 0 {
+		t.Fatalf("Recorders() after Reset has %d entries, want 0", len(got))
+	}
+}
+
+func TestWitnessAdvancesLamportClock(t *testing.T) {
+	withEnabled(t, func() {
+		a := newRecorder("a", 8)
+		b := newRecorder("b", 8)
+		for i := 0; i < 5; i++ {
+			a.Emit(SyncRequest, 1)
+		}
+		b.Emit(SyncResponse, 1)
+		b.Witness(a.Clock())
+		b.Emit(SyncResponse, 2)
+		evs := b.Snapshot()
+		last := evs[len(evs)-1]
+		if last.LC <= a.Clock() {
+			t.Errorf("post-witness LC %d not past witnessed clock %d", last.LC, a.Clock())
+		}
+		b.Witness(1) // regression: witnessing an older clock must not rewind
+		if b.Clock() != last.LC {
+			t.Errorf("Witness rewound the clock to %d", b.Clock())
+		}
+	})
+}
+
+func TestFoldBytes(t *testing.T) {
+	if got := FoldBytes([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0xff}); got != 1<<56 {
+		t.Errorf("FoldBytes = %#x, want first 8 bytes big-endian (%#x)", got, uint64(1)<<56)
+	}
+	if got := FoldBytes([]byte{0, 1}); got != 1<<48 {
+		t.Errorf("FoldBytes short input = %#x, want zero-padded %#x", got, uint64(1)<<48)
+	}
+}
+
+func sampleEvents() []Event {
+	var out []Event
+	mk := func(seq uint64, kind Kind, epoch uint64, fields ...Field) {
+		e := Event{Seq: seq, Wall: int64(1000 + seq), LC: seq + 1, Node: "n0", Kind: kind, Epoch: epoch}
+		e.NumFields = uint8(copy(e.Fields[:], fields))
+		out = append(out, e)
+	}
+	mk(0, ChaosFault, 0, FS("kind", "crash"), FS("site", "node/persist"))
+	mk(1, SchedGroups, 1, F("groups", 4), F("rescued", 1), F("digest", 0xdeadbeef))
+	mk(2, NodeEpochCommit, 1, F("root", 0x1234), F("committed", 40))
+	mk(3, SyncRequest, 2, FS("peer", "n1"), F("resync", 0))
+	return out
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	if err := Write(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round trip returned %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Errorf("event %d changed across binary round trip:\n  wrote %+v\n  read  %+v", i, events[i], got[i])
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round trip returned %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Errorf("event %d changed across JSONL round trip:\n  wrote %+v\n  read  %+v", i, events[i], got[i])
+		}
+	}
+}
+
+func TestReadFileSniffsFormat(t *testing.T) {
+	dir := t.TempDir()
+	events := sampleEvents()
+	bin := filepath.Join(dir, "bin.journal")
+	if err := WriteFile(bin, events); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	jsonl := filepath.Join(dir, "jsonl.journal")
+	if err := os.WriteFile(jsonl, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{bin, jsonl} {
+		got, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(got) != len(events) {
+			t.Fatalf("%s: %d events, want %d", path, len(got), len(events))
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a journal"))); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("Read(garbage) = %v, want ErrBadFormat", err)
+	}
+	// A truncated binary stream is corruption, not a silent short read.
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	torn := buf.Bytes()[:buf.Len()-3]
+	if _, err := Read(bytes.NewReader(torn)); err == nil {
+		t.Error("Read(torn stream) succeeded, want unexpected-EOF error")
+	}
+}
+
+func TestDumpAllWritesEveryRecorder(t *testing.T) {
+	Reset()
+	defer Reset()
+	withEnabled(t, func() {
+		For("d0").Emit(NodeEpochCommit, 1, F("root", 0xaa))
+		For("d1").Emit(NodeEpochCommit, 1, F("root", 0xbb))
+		dir := t.TempDir()
+		if err := DumpAll(dir); err != nil {
+			t.Fatal(err)
+		}
+		for _, node := range []string{"d0", "d1"} {
+			evs, err := ReadFile(filepath.Join(dir, node+".journal"))
+			if err != nil {
+				t.Fatalf("%s: %v", node, err)
+			}
+			if len(evs) != 1 || evs[0].Node != node {
+				t.Fatalf("%s journal holds %v", node, evs)
+			}
+		}
+	})
+}
+
+func TestEventStringIncludesFields(t *testing.T) {
+	e := sampleEvents()[2]
+	s := e.String()
+	for _, want := range []string{"node/epoch-commit", "epoch 1", "root=0x1234", "committed=0x28"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Package journalhygiene enforces the flight-recorder kind registry
+// discipline around internal/journal, mirroring the failpoint analyzer:
+// the diff forensics can only align what both nodes name identically, so
+// the full inventory of event kinds must live in one reviewable file and
+// every emit site must use it.
+//
+// Rules:
+//
+//   - Inside the journal package: every journal.Kind constant must be
+//     declared in names.go (the central registry), match the kind grammar
+//     ^[a-z0-9-]+(/[a-z0-9-]+)*$, and be unique — two constants with one
+//     string value would silently alias two event kinds and corrupt diff
+//     alignment.
+//   - Everywhere else: the kind passed to (*Recorder).Emit must be a
+//     registered constant (or a compile-time string equal to one).
+//     Non-constant kinds are allowed only when already typed
+//     journal.Kind — and every journal.Kind(...) conversion from a
+//     literal is checked against the registry, so a dynamic kind can only
+//     be laundered from registered values.
+//   - Emit must not appear in determinism-critical packages
+//     (lint.CriticalPackages): the recorder takes a mutex on the armed
+//     path, so an emit inside the scheduler or MVCC core could reorder
+//     the very interleavings it exists to observe. Instrumentation lives
+//     at those packages' call sites instead (see internal/statedb for the
+//     pattern).
+//
+// There is deliberately no annotation escape hatch: an unregistered kind
+// is never benign — registering it is a one-line diff.
+package journalhygiene

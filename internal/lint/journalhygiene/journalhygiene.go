@@ -1,0 +1,195 @@
+package journalhygiene
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"github.com/nezha-dag/nezha/internal/lint"
+	"github.com/nezha-dag/nezha/internal/lint/analysis"
+)
+
+// Analyzer enforces the flight-recorder kind registry discipline. See
+// doc.go.
+var Analyzer = &analysis.Analyzer{
+	Name: "journalhygiene",
+	Doc:  "require registered journal.Kind constants at emit sites and keep the recorder out of determinism-critical packages",
+	Run:  run,
+}
+
+// kindRE is the kind grammar: slash-separated lower-case segments, the
+// same shape as failpoint site names.
+var kindRE = regexp.MustCompile(`^[a-z0-9-]+(/[a-z0-9-]+)*$`)
+
+// RegistryFile is where Kind constants must live inside the journal
+// package.
+const RegistryFile = "names.go"
+
+func run(pass *analysis.Pass) (any, error) {
+	if isJournalPkg(pass.Pkg.Path()) && pass.Pkg.Name() == "journal" {
+		checkRegistry(pass)
+		return nil, nil
+	}
+	journalPkg := importedJournalPkg(pass.Pkg)
+	if journalPkg == nil {
+		return nil, nil
+	}
+	registered := registeredKinds(journalPkg)
+	critical := lint.IsCritical(pass.Pkg.Path())
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() != journalPkg {
+				return true
+			}
+			switch o := obj.(type) {
+			case *types.TypeName:
+				// A journal.Kind(x) conversion: the laundering point for
+				// dynamic kinds — x must be a registered compile-time value.
+				if o.Name() != "Kind" || len(call.Args) != 1 {
+					return true
+				}
+				checkKindExpr(pass, registered, call.Args[0], true)
+			case *types.Func:
+				if o.Name() != "Emit" {
+					return true
+				}
+				if critical {
+					pass.Reportf(call.Pos(), "journal.Emit in determinism-critical package %s; the flight recorder observes these packages from their call sites, it never runs inside them", pass.Pkg.Path())
+				}
+				if len(call.Args) > 0 {
+					checkKindExpr(pass, registered, call.Args[0], false)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkKindExpr validates one kind expression. conversion marks a
+// journal.Kind(x) argument, where a non-constant x is itself the
+// violation.
+func checkKindExpr(pass *analysis.Pass, registered map[string]string, e ast.Expr, conversion bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		v := constant.StringVal(tv.Value)
+		if _, ok := registered[v]; !ok {
+			pass.Reportf(e.Pos(), "unregistered journal kind %q; declare it as a journal.Kind constant in internal/journal/%s", v, RegistryFile)
+		}
+		return
+	}
+	if conversion {
+		pass.Reportf(e.Pos(), "journal.Kind conversion from a non-constant; use a registered constant from internal/journal/%s", RegistryFile)
+		return
+	}
+	// Not a compile-time constant: only acceptable when the expression is
+	// already typed journal.Kind (its construction sites are checked above).
+	if named, ok := tv.Type.(*types.Named); ok && named.Obj().Name() == "Kind" && named.Obj().Pkg() != nil && isJournalPkg(named.Obj().Pkg().Path()) {
+		return
+	}
+	pass.Reportf(e.Pos(), "journal kind must be a registered journal.Kind constant from internal/journal/%s, not a dynamic %s", RegistryFile, tv.Type)
+}
+
+// checkRegistry runs inside the journal package: Kind constants live in
+// names.go, match the grammar, and are unique.
+func checkRegistry(pass *analysis.Pass) {
+	type decl struct {
+		name  string
+		value string
+		file  string
+		pos   ast.Node
+	}
+	var decls []decl
+	for _, file := range pass.Files {
+		base := filepath.Base(pass.Fset.Position(file.Package).Filename)
+		for _, d := range file.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, id := range vs.Names {
+					c, ok := pass.TypesInfo.Defs[id].(*types.Const)
+					if !ok {
+						continue
+					}
+					named, ok := c.Type().(*types.Named)
+					if !ok || named.Obj().Name() != "Kind" || named.Obj().Pkg() != pass.Pkg {
+						continue
+					}
+					decls = append(decls, decl{
+						name:  id.Name,
+						value: constant.StringVal(c.Val()),
+						file:  base,
+						pos:   id,
+					})
+				}
+			}
+		}
+	}
+	sort.SliceStable(decls, func(i, j int) bool { return decls[i].pos.Pos() < decls[j].pos.Pos() })
+	byValue := map[string]string{}
+	for _, d := range decls {
+		if d.file != RegistryFile {
+			pass.Reportf(d.pos.Pos(), "journal.Kind constant %s declared in %s; the registry is %s", d.name, d.file, RegistryFile)
+		}
+		if !kindRE.MatchString(d.value) {
+			pass.Reportf(d.pos.Pos(), "journal kind %q does not match ^[a-z0-9-]+(/[a-z0-9-]+)*$", d.value)
+		}
+		if prev, dup := byValue[d.value]; dup {
+			pass.Reportf(d.pos.Pos(), "duplicate journal kind %q (already registered as %s)", d.value, prev)
+		} else {
+			byValue[d.value] = d.name
+		}
+	}
+}
+
+// registeredKinds reads the registry out of the imported journal
+// package's scope (export data carries constant values).
+func registeredKinds(journalPkg *types.Package) map[string]string {
+	out := map[string]string{}
+	scope := journalPkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		named, ok := c.Type().(*types.Named)
+		if !ok || named.Obj().Name() != "Kind" || named.Obj().Pkg() != journalPkg {
+			continue
+		}
+		out[constant.StringVal(c.Val())] = name
+	}
+	return out
+}
+
+// importedJournalPkg finds the directly imported journal package, if any.
+func importedJournalPkg(pkg *types.Package) *types.Package {
+	for _, imp := range pkg.Imports() {
+		if imp.Name() == "journal" && isJournalPkg(imp.Path()) {
+			return imp
+		}
+	}
+	return nil
+}
+
+func isJournalPkg(path string) bool {
+	return path == "journal" || strings.HasSuffix(path, "/journal")
+}

@@ -1,0 +1,19 @@
+package journalhygiene_test
+
+import (
+	"testing"
+
+	"github.com/nezha-dag/nezha/internal/lint"
+	"github.com/nezha-dag/nezha/internal/lint/analysis/analysistest"
+	"github.com/nezha-dag/nezha/internal/lint/journalhygiene"
+)
+
+func TestJournalHygiene(t *testing.T) {
+	// journal:            a clean registry (negative case for checkRegistry).
+	// journalbad/journal: every registry violation.
+	// a:                  emit sites, good and bad.
+	// crit:               made determinism-critical below; Emit is banned.
+	lint.CriticalPackages = append(lint.CriticalPackages, "crit")
+	analysistest.Run(t, analysistest.TestData(), journalhygiene.Analyzer,
+		"journal", "journalbad/journal", "a", "crit")
+}

@@ -1,0 +1,11 @@
+// Package crit is appended to lint.CriticalPackages by the test: even a
+// perfectly registered emit is banned here — the recorder's armed path
+// takes a mutex, and determinism-critical code must not acquire one on
+// behalf of an observer.
+package crit
+
+import "journal"
+
+func emit(r *journal.Recorder) {
+	r.Emit(journal.Registered, 1) // want `journal.Emit in determinism-critical package`
+}

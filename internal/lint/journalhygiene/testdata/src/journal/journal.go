@@ -1,0 +1,21 @@
+// Package journal is a hermetic stub of internal/journal: same exported
+// shape, no behavior. The analyzer keys on the package name and path
+// suffix, so the tests never depend on the real module.
+package journal
+
+type Field struct {
+	Key string
+	Val uint64
+	Str string
+}
+
+func F(key string, val uint64) Field { return Field{Key: key, Val: val} }
+func FS(key, str string) Field       { return Field{Key: key, Str: str} }
+
+type Recorder struct{}
+
+func For(node string) *Recorder { return &Recorder{} }
+
+func (r *Recorder) Emit(kind Kind, epoch uint64, fields ...Field) {}
+
+func Deterministic(k Kind) bool { return false }

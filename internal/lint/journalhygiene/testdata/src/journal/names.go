@@ -1,0 +1,9 @@
+package journal
+
+// Kind is a registered event kind; the stub mirrors internal/journal.
+type Kind string
+
+const (
+	Registered Kind = "pkg/registered"
+	Other      Kind = "pkg/other"
+)

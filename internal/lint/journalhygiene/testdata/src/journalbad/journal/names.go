@@ -1,0 +1,12 @@
+// Package journal (under journalbad/) is the registry-violation corpus:
+// every way a Kind declaration can break the rules.
+package journal
+
+type Kind string
+
+const (
+	GoodKind Kind = "pkg/good"
+	DupKind  Kind = "pkg/good" // want `duplicate journal kind "pkg/good" \(already registered as GoodKind\)`
+	BadCase  Kind = "Pkg/Bad"  // want `does not match`
+	BadChars Kind = "pkg_bad"  // want `does not match`
+)

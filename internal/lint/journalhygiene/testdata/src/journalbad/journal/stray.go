@@ -1,0 +1,3 @@
+package journal
+
+const Stray Kind = "pkg/stray" // want `journal.Kind constant Stray declared in stray.go; the registry is names.go`

@@ -22,6 +22,7 @@ import (
 	"github.com/nezha-dag/nezha/internal/core"
 	"github.com/nezha-dag/nezha/internal/dag"
 	"github.com/nezha-dag/nezha/internal/fail"
+	"github.com/nezha-dag/nezha/internal/journal"
 	"github.com/nezha-dag/nezha/internal/kvstore"
 	"github.com/nezha-dag/nezha/internal/metrics"
 	"github.com/nezha-dag/nezha/internal/mpt"
@@ -113,6 +114,10 @@ type Node struct {
 	ledger *dag.Ledger
 	state  *statedb.StateDB
 	coll   *metrics.Collector
+	// jr is the node's flight recorder (internal/journal): pipeline
+	// outcomes, sync transitions, and statedb epoch boundaries append to
+	// it whenever journaling is enabled process-wide. Never nil.
+	jr *journal.Recorder
 
 	mu        sync.Mutex
 	nextEpoch uint64
@@ -169,6 +174,7 @@ func New(id string, store kvstore.Store, cfg Config) (*Node, error) {
 		store:     store,
 		ledger:    ledger,
 		coll:      metrics.NewCollector(),
+		jr:        journal.For(id),
 		nextEpoch: 1,
 	}
 	n.coll.SetCap(cfg.RetainEpochStats)
@@ -179,10 +185,12 @@ func New(id string, store kvstore.Store, cfg Config) (*Node, error) {
 		}
 		if restored {
 			n.state = statedb.Open(store, n.roots[n.nextEpoch-1])
+			n.state.SetJournal(n.jr)
 			return n, nil
 		}
 	}
 	n.state = statedb.Open(store, mpt.EmptyRoot)
+	n.state.SetJournal(n.jr)
 	if len(cfg.GenesisWrites) > 0 {
 		if _, err := n.state.Commit(cfg.GenesisWrites); err != nil {
 			return nil, fmt.Errorf("node: genesis: %w", err)
@@ -400,7 +408,15 @@ func (n *Node) processBlocksLocked(e uint64, blocks []*types.Block) (*EpochResul
 	}
 
 	n.nextEpoch++
-	n.roots[e] = n.state.Root()
+	root := n.state.Root()
+	// Failpoint: corrupt the root this node records and reports for the
+	// epoch, without touching the state itself — the forced convergence
+	// failure the journal forensics meta-tests use to prove a chaos
+	// divergence dumps journals naming the mismatched epoch-commit event.
+	if err := fail.HitTag(fail.NodeDivergeRoot, n.id); err != nil {
+		root[0] ^= 0x01
+	}
+	n.roots[e] = root
 	n.ledger.Finalize(e)
 	if n.cfg.Persist {
 		if err := n.persistEpochLocked(e, er.epoch.Blocks); err != nil {
@@ -413,12 +429,17 @@ func (n *Node) processBlocksLocked(e uint64, blocks []*types.Block) (*EpochResul
 	// collector may fold everything older. A failed persist returns above
 	// and stalls the watermark along with the persistence watermark.
 	n.state.AdvanceWatermark()
-	er.res.StateRoot = n.state.Root()
+	er.res.StateRoot = root
 	er.res.Schedule = er.sched
 	stats.Committed = er.sched.CommittedCount()
 	er.res.Stats = stats
 	n.coll.Record(stats)
 	n.recordEpochMetrics(&stats, len(er.res.Discarded))
+	n.jr.Emit(journal.NodeEpochCommit, e,
+		journal.F("root", journal.FoldBytes(root[:])),
+		journal.F("committed", uint64(stats.Committed)),
+		journal.F("aborted", uint64(stats.Aborted)),
+		journal.F("txs", uint64(stats.Txs)))
 	return er.res, nil
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"github.com/nezha-dag/nezha/internal/crypto"
 	"github.com/nezha-dag/nezha/internal/fail"
+	"github.com/nezha-dag/nezha/internal/journal"
 	"github.com/nezha-dag/nezha/internal/metrics"
 	"github.com/nezha-dag/nezha/internal/statedb"
 	"github.com/nezha-dag/nezha/internal/types"
@@ -104,6 +105,8 @@ func (n *Node) runStages(er *epochRun, stages []stage) error {
 		ss.Duration = time.Since(start)
 		er.stats.Stages = append(er.stats.Stages, ss)
 		n.recordStageMetrics(st.name, ss)
+		n.jr.Emit(journal.NodeStageDone, er.number,
+			journal.FS("stage", st.name), journal.F("tasks", uint64(ss.Tasks)))
 		n.tracer.Span(n.id, st.name, start, ss.Duration, map[string]any{
 			"epoch":     er.number,
 			"tasks":     ss.Tasks,
@@ -158,7 +161,10 @@ func (n *Node) validateStage(er *epochRun, ss *metrics.StageStat) error {
 		if sigOK && n.validStateRootLocked(b) {
 			valid = append(valid, b)
 		} else {
-			er.res.Discarded = append(er.res.Discarded, b.Hash())
+			h := b.Hash()
+			er.res.Discarded = append(er.res.Discarded, h)
+			n.jr.Emit(journal.NodeBlockDiscard, er.number,
+				journal.F("block", journal.FoldBytes(h[:])))
 		}
 	}
 	er.epoch = types.NewEpoch(er.number, valid)
@@ -246,12 +252,53 @@ func (n *Node) scheduleStage(er *epochRun, ss *metrics.StageStat) error {
 	ss.Tasks = len(er.sims)
 	ss.Workers = breakdown.Shards
 
+	// The scheduler's phase output is the replica-deterministic artifact
+	// divergence forensics align on; the digest folds the group layout so
+	// a reordered or resized group shows up without journaling every id.
+	// Enabled() gates the digest walk, not just the append.
+	if journal.Enabled() {
+		groups := sched.Groups()
+		n.jr.Emit(journal.SchedGroups, er.number,
+			journal.F("groups", uint64(len(groups))),
+			journal.F("rescued", uint64(breakdown.Rescued)),
+			journal.F("digest", groupDigest(groups)))
+	}
+
 	if n.cfg.VerifySchedules {
 		if err := verifyAgainstState(er.state, er.sims, sched); err != nil {
 			return fmt.Errorf("node: epoch %d schedule unsound: %w", er.number, err)
 		}
 	}
 	return nil
+}
+
+// groupDigest folds a schedule's commit-group layout into one comparable
+// value: FNV-1a over each group's size and first/last transaction id.
+// Groups are already in deterministic commit order, so two replicas that
+// scheduled the same epoch identically produce the same digest, and any
+// layout difference — a split group, a reordered boundary — perturbs it.
+func groupDigest(groups [][]types.TxID) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		mix(uint64(len(g)))
+		mix(uint64(g[0]))
+		mix(uint64(g[len(g)-1]))
+	}
+	return h
 }
 
 // prefetchStage kicks the background read-set prefetch of the NEXT epoch:

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/nezha-dag/nezha/internal/journal"
 	"github.com/nezha-dag/nezha/internal/metrics"
 	"github.com/nezha-dag/nezha/internal/p2p"
 )
@@ -203,6 +204,7 @@ func (s *Syncer) Tick(now time.Time) {
 	defer s.mu.Unlock()
 	if s.inflight && now.After(s.deadline) {
 		syncTimeouts(s.n.id).Inc()
+		s.n.jr.Emit(journal.SyncTimeout, 0, journal.FS("peer", s.peer))
 		s.failLocked(now, s.peer)
 	}
 	s.kickLocked(now)
@@ -217,6 +219,12 @@ func (s *Syncer) Tick(now time.Time) {
 func (s *Syncer) HandleBlocks(now time.Time, msg p2p.Message) (int, error) {
 	accepted, err := s.n.HandleSyncResponse(msg)
 	syncAccepted(s.n.id).Add(float64(accepted))
+	more := uint64(0)
+	if msg.More {
+		more = 1
+	}
+	s.n.jr.Emit(journal.SyncResponse, msg.UpTo,
+		journal.FS("peer", msg.From), journal.F("accepted", uint64(accepted)), journal.F("more", more))
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -255,6 +263,7 @@ func (s *Syncer) HandleBlocks(now time.Time, msg p2p.Message) (int, error) {
 			// as benign, the missing candidate lands.
 			s.resyncArmed = true
 			syncResyncs(s.n.id).Inc()
+			s.n.jr.Emit(journal.SyncResync, s.exchangeMin)
 			s.kickLocked(now)
 		}
 	}
@@ -276,6 +285,7 @@ func (s *Syncer) failLocked(now time.Time, peer string) {
 		if !h.demoted && h.failures >= s.cfg.DemoteAfter {
 			h.demoted = true
 			syncDemotions(s.n.id).Inc()
+			s.n.jr.Emit(journal.SyncDemote, 0, journal.FS("peer", peer))
 		}
 	}
 	s.failStreak++
@@ -336,6 +346,12 @@ func (s *Syncer) kickLocked(now time.Time) bool {
 	}
 	syncRequests(s.n.id).Inc()
 	syncInflight(s.n.id).Set(1)
+	resync := uint64(0)
+	if s.resyncing {
+		resync = 1
+	}
+	s.n.jr.Emit(journal.SyncRequest, height,
+		journal.FS("peer", peer), journal.F("resync", resync))
 	// Send outside the node's lock but inside ours is fine: the simulated
 	// network never blocks the sender.
 	s.ep.Send(peer, p2p.Message{Type: p2p.MsgGetBlocks, Height: height})

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/nezha-dag/nezha/internal/journal"
 	"github.com/nezha-dag/nezha/internal/kvstore"
 	"github.com/nezha-dag/nezha/internal/mpt"
 	"github.com/nezha-dag/nezha/internal/mvcc"
@@ -36,6 +37,19 @@ type StateDB struct {
 	// exists, every Commit threads its writes through it so views stay
 	// consistent with the trie.
 	mv *mvcc.Store
+	// jr, when set, receives state/* journal events at the MVCC epoch
+	// boundaries (reserve, commit, rollback, watermark). The mvcc package
+	// itself is determinism-critical code the flight recorder must stay
+	// out of, so the observation happens here at its call sites.
+	jr *journal.Recorder
+}
+
+// SetJournal attaches a flight recorder; subsequent commits and watermark
+// advances emit state/* events into it. Pass nil to detach.
+func (s *StateDB) SetJournal(r *journal.Recorder) {
+	s.mu.Lock()
+	s.jr = r
+	s.mu.Unlock()
 }
 
 // Open returns a StateDB over the given node store, rooted at root
@@ -125,7 +139,7 @@ func (s *StateDB) Prefetch(k types.Key) error {
 // epoch has persisted). Returns the number of folded versions.
 func (s *StateDB) AdvanceWatermark() int {
 	s.mu.RLock()
-	mv := s.mv
+	mv, jr := s.mv, s.jr
 	gen := uint64(0)
 	if mv != nil {
 		gen = mv.Gen()
@@ -134,7 +148,11 @@ func (s *StateDB) AdvanceWatermark() int {
 	if mv == nil {
 		return 0
 	}
-	return mv.SetWatermark(gen)
+	folded := mv.SetWatermark(gen)
+	// Context event, not an alignment key: generations restart from zero
+	// when a node reopens, so they are not comparable across replicas.
+	jr.Emit(journal.StateWatermark, gen, journal.F("folded", uint64(folded)))
+	return folded
 }
 
 // MVCCStats snapshots the version cache's counters; ok is false until the
@@ -168,6 +186,7 @@ func (s *StateDB) Commit(writes []types.WriteEntry) (types.Hash, error) {
 		}
 		mv.ReserveEpoch(keys)
 		defer mv.ReleaseEpoch()
+		s.jr.Emit(journal.StateReserve, mv.Gen(), journal.F("keys", uint64(len(keys))))
 		// Pre-flush trie reads, under the already-held write lock.
 		load := func(k types.Key) ([]byte, error) {
 			v, _, err := s.trie.Get(k[:])
@@ -185,6 +204,7 @@ func (s *StateDB) Commit(writes []types.WriteEntry) (types.Hash, error) {
 	rollback := func() {
 		if mv != nil && len(writes) > 0 {
 			mv.RollbackEpoch(writes)
+			s.jr.Emit(journal.StateRollback, mv.Gen(), journal.F("writes", uint64(len(writes))))
 		}
 	}
 	for _, w := range writes {
@@ -199,6 +219,12 @@ func (s *StateDB) Commit(writes []types.WriteEntry) (types.Hash, error) {
 		return types.Hash{}, err
 	}
 	s.root = root
+	gen := uint64(0)
+	if mv != nil {
+		gen = mv.Gen()
+	}
+	s.jr.Emit(journal.StateCommit, gen,
+		journal.F("writes", uint64(len(writes))), journal.F("root", journal.FoldBytes(root[:])))
 	return root, nil
 }
 
