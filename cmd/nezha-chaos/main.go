@@ -55,6 +55,7 @@ func scenarioFlags(fs *flag.FlagSet) *chaos.Config {
 	fs.IntVar(&cfg.Accounts, "accounts", 0, "workload accounts (0 = default 300)")
 	fs.StringVar(&cfg.Dir, "dir", "", "scratch dir for node stores (default: temp, removed)")
 	fs.BoolVar(&cfg.SnapshotExec, "snapshot-exec", false, "use the legacy snapshot-copy executor instead of the MVCC view default")
+	fs.BoolVar(&cfg.Mempool, "mempool", false, "front every miner with the admission-controlled mempool and inject admission faults")
 	fs.StringVar(&cfg.JournalDir, "journal-dir", "", "dump per-node flight-recorder journals here (default: only on failure, to a kept temp dir)")
 	return cfg
 }
@@ -109,8 +110,8 @@ func cmdReplay(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("seed=%d epochs=%d blocks=%d crash-restarts=%d partitions=%d storage-errors=%d stalls=%d\n",
-		res.Seed, res.Epochs, res.Blocks, res.CrashRestarts, res.Partitions, res.StorageErrors, res.Stalls)
+	fmt.Printf("seed=%d epochs=%d blocks=%d crash-restarts=%d partitions=%d storage-errors=%d stalls=%d mempool-faults=%d\n",
+		res.Seed, res.Epochs, res.Blocks, res.CrashRestarts, res.Partitions, res.StorageErrors, res.Stalls, res.MempoolFaults)
 	if res.Failure == nil {
 		fmt.Println("result: ok")
 		if cfg.JournalDir != "" {

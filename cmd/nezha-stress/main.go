@@ -1,0 +1,121 @@
+// Command nezha-stress drives a live in-process cluster at a sustained
+// transaction load through the admission-controlled mempool, and reports
+// commit throughput and admission-to-commit latency percentiles.
+//
+// Usage:
+//
+//	nezha-stress -duration 30s -tps 2000                 # open loop at 2000 TPS
+//	nezha-stress -duration 30s                           # closed loop (find natural throughput)
+//	nezha-stress -duration 2m -chaos -journal-dir /tmp/j # CI soak: faults armed, forensics dumped
+//
+// The process exits non-zero if any run oracle fails: cross-node state
+// divergence, a stalled commit watermark (no epoch for -stall), no
+// commits at all, or fewer epochs than -min-epochs.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/nezha-dag/nezha/internal/fail"
+	"github.com/nezha-dag/nezha/internal/mempool"
+	"github.com/nezha-dag/nezha/internal/metrics"
+	"github.com/nezha-dag/nezha/internal/stress"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "nezha-stress: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		workloadName = flag.String("workload", "smallbank", "workload: smallbank | token")
+		accounts     = flag.Uint64("accounts", 10_000, "account population")
+		skew         = flag.Float64("skew", 0.6, "workload Zipfian skew")
+		sign         = flag.Bool("sign", false, "ed25519-sign transactions and verify at admission (smallbank only)")
+		nodes        = flag.Int("nodes", 2, "cluster size (every node mines and verifies)")
+		chains       = flag.Int("chains", 4, "parallel chains")
+		blockSize    = flag.Int("blocksize", 200, "transactions per block")
+		difficulty   = flag.Int("difficulty", 0, "PoW difficulty bits (0 = instant mining)")
+		duration     = flag.Duration("duration", 30*time.Second, "run length")
+		tps          = flag.Float64("tps", 0, "open-loop target TPS (0 = closed loop)")
+		inFlight     = flag.Int("inflight", 0, "closed-loop in-flight bound (0 = 4*blocksize*nodes)")
+		schedName    = flag.String("scheduler", "nezha", "nezha | serial")
+		seed         = flag.Int64("seed", 1, "workload and fault-injection seed")
+		stall        = flag.Duration("stall", 30*time.Second, "fail if no epoch commits for this long")
+		minEpochs    = flag.Uint64("min-epochs", 0, "fail if fewer epochs commit")
+		chaos        = flag.Bool("chaos", false, "arm mempool failpoints (admission faults, eviction faults on a small shard cap)")
+		journalDir   = flag.String("journal-dir", "", "enable the flight recorder and dump all journals here on exit")
+		reportPath   = flag.String("report", "", "also write the report to this file")
+		addr         = flag.String("metrics-addr", "", "serve /metrics and pprof on this host:port while running")
+	)
+	flag.Parse()
+
+	if *addr != "" {
+		srv, err := metrics.StartServer(*addr, metrics.Default())
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: http://%s/metrics\n", srv.Addr())
+	}
+
+	w, err := stress.NewWorkload(*workloadName, stress.Options{
+		Seed: *seed, Accounts: *accounts, Skew: *skew, Sign: *sign,
+	})
+	if err != nil {
+		return err
+	}
+
+	cfg := stress.Config{
+		Workload:         w,
+		Nodes:            *nodes,
+		Chains:           *chains,
+		BlockSize:        *blockSize,
+		DifficultyBits:   *difficulty,
+		Duration:         *duration,
+		TargetTPS:        *tps,
+		InFlight:         *inFlight,
+		VerifySignatures: *sign,
+		Scheduler:        *schedName,
+		StallTimeout:     *stall,
+		Seed:             *seed,
+		JournalDir:       *journalDir,
+	}
+	if *chaos {
+		// The soak faults: probabilistic admission errors, plus eviction
+		// faults made reachable by a small shard cap. Both hit the
+		// ingestion edge only — the pipeline oracles must hold regardless.
+		cfg.Mempool = mempool.Config{ShardCap: 512}
+		cfg.Failpoints = map[fail.Name]fail.Spec{
+			fail.MempoolAdmit: {Mode: fail.ModeError, Prob: 0.02},
+			fail.MempoolEvict: {Mode: fail.ModeError, Prob: 0.5},
+		}
+	}
+
+	fmt.Printf("stress: %s over %d nodes, %d chains, blocksize %d, %v (chaos=%v)\n",
+		*workloadName, *nodes, *chains, *blockSize, *duration, *chaos)
+
+	rep, err := stress.Run(context.Background(), cfg)
+	if rep != nil {
+		fmt.Println(rep)
+		if *reportPath != "" {
+			if werr := os.WriteFile(*reportPath, []byte(rep.String()+"\n"), 0o644); werr != nil && err == nil {
+				err = werr
+			}
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if rep.Epochs < *minEpochs {
+		return fmt.Errorf("only %d epochs committed, need %d", rep.Epochs, *minEpochs)
+	}
+	return nil
+}

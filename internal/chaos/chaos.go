@@ -46,6 +46,7 @@ import (
 	"github.com/nezha-dag/nezha/internal/fail"
 	"github.com/nezha-dag/nezha/internal/journal"
 	"github.com/nezha-dag/nezha/internal/kvstore"
+	"github.com/nezha-dag/nezha/internal/mempool"
 	"github.com/nezha-dag/nezha/internal/node"
 	"github.com/nezha-dag/nezha/internal/p2p"
 	"github.com/nezha-dag/nezha/internal/types"
@@ -99,6 +100,13 @@ type Config struct {
 	// once per mode, so an executor-specific convergence bug is pinned to
 	// its executor.
 	SnapshotExec bool
+	// Mempool fronts every miner with the admission-controlled pool of
+	// internal/mempool instead of the legacy flat pool, and adds
+	// admission-fault injection to the schedule — the sweep then proves
+	// convergence holds when block assembly runs through the new
+	// ingestion path. Off keeps the schedule byte-identical to historical
+	// seeds.
+	Mempool bool
 	// JournalDir, when set, receives every node's flight-recorder journal
 	// (one <node>.journal per node) whether or not the scenario fails.
 	// When empty, journals are dumped only on failure, into a preserved
@@ -176,6 +184,9 @@ type Result struct {
 	// StorageErrors counts injected storage errors a node observed and
 	// survived.
 	StorageErrors int
+	// MempoolFaults counts admission-fault windows armed against miner
+	// pools (Config.Mempool scenarios only).
+	MempoolFaults int
 	// Stalls counts peer-stall faults (probabilistic delivery drops).
 	Stalls int
 	// Events is the scenario's fault/recovery log.
@@ -192,6 +203,7 @@ const (
 	faultPartition
 	faultStorage
 	faultStall
+	faultMempool
 )
 
 // fault is one scheduled fault: a preferred target (resolved to a live
@@ -228,6 +240,7 @@ type chaosNode struct {
 	restartAt    int
 	pending      *pendingCrash
 	stalledUntil int
+	mpFaultUntil int
 }
 
 // harness drives one scenario.
@@ -410,6 +423,12 @@ func (h *harness) setup(root string) error {
 		SyncBatch:         syncBatch,
 		SnapshotExecution: h.cfg.SnapshotExec,
 	}
+	if h.cfg.Mempool {
+		// The defaults suit the scenario's scale (blockTxs per round per
+		// miner); the generator's global nonce counter is sparse per
+		// sender, so StrictNonce stays off.
+		h.nodeCfg.Mempool = &mempool.Config{}
+	}
 
 	h.net = p2p.NewNetwork(p2p.Config{QueueLen: 512, Seed: h.cfg.Seed})
 	ids := make([]string, h.cfg.Nodes)
@@ -504,6 +523,12 @@ func (h *harness) buildSchedule() map[int][]fault {
 	add(pick(3*R/4, R-2), fault{
 		kind: faultStall, node: h.rng.Intn(h.cfg.Nodes), duration: 3,
 	})
+	// Mempool scenarios get one mandatory admission-fault window on top.
+	// All mempool draws short-circuit on the flag, so non-mempool
+	// schedules stay byte-identical to historical seeds.
+	if h.cfg.Mempool {
+		add(pick(2, R-2), fault{kind: faultMempool, node: h.rng.Intn(h.cfg.Nodes), duration: 2})
+	}
 
 	for r := 2; r < R-2; r++ {
 		if h.rng.Float64() < 0.05 {
@@ -520,6 +545,9 @@ func (h *harness) buildSchedule() map[int][]fault {
 		}
 		if h.rng.Float64() < 0.04 {
 			add(r, fault{kind: faultPartition, node: h.rng.Intn(h.cfg.Nodes), duration: 3})
+		}
+		if h.cfg.Mempool && h.rng.Float64() < 0.08 {
+			add(r, fault{kind: faultMempool, node: h.rng.Intn(h.cfg.Nodes), duration: 2})
 		}
 	}
 	return sched
@@ -552,6 +580,13 @@ func (h *harness) beginRound(r int) {
 				delete(h.armedSites, fail.P2PDrop)
 			}
 			cn.stalledUntil = 0
+		}
+		if cn.mpFaultUntil != 0 && r >= cn.mpFaultUntil {
+			if h.armedSites[fail.MempoolAdmit] == cn.id {
+				fail.Disable(fail.MempoolAdmit)
+				delete(h.armedSites, fail.MempoolAdmit)
+			}
+			cn.mpFaultUntil = 0
 		}
 	}
 }
@@ -616,6 +651,26 @@ func (h *harness) applyFault(r int, f fault) {
 		h.journalFault(cn, "stall", string(fail.P2PDrop))
 		h.res.Stalls++
 		h.eventf(r, "stalling deliveries to %s for %d rounds", cn.id, f.duration)
+	case faultMempool:
+		if !h.cfg.Mempool {
+			return
+		}
+		cn := h.pickAlive(f.node)
+		if cn == nil {
+			return
+		}
+		if _, taken := h.armedSites[fail.MempoolAdmit]; taken {
+			return
+		}
+		// Probabilistic admission errors against one miner's pool: some of
+		// its fed transactions never enter a block. Convergence must hold
+		// anyway — admission shapes block content, never block execution.
+		fail.Enable(fail.MempoolAdmit, fail.Spec{Mode: fail.ModeError, Tag: cn.id, Prob: 0.5, Count: 10})
+		h.armedSites[fail.MempoolAdmit] = cn.id
+		cn.mpFaultUntil = r + f.duration
+		h.journalFault(cn, "mempool", string(fail.MempoolAdmit))
+		h.res.MempoolFaults++
+		h.eventf(r, "admission faults at %s for %d rounds", cn.id, f.duration)
 	}
 }
 
@@ -692,6 +747,12 @@ func (h *harness) kill(r int, cn *chaosNode, why string) {
 		// site frees up for later faults.
 		fail.Disable("kvstore/apply")
 		delete(h.armedSites, "kvstore/apply")
+	}
+	if h.armedSites[fail.MempoolAdmit] == cn.id {
+		// Likewise its admission faults: the pool died with the miner.
+		fail.Disable(fail.MempoolAdmit)
+		delete(h.armedSites, fail.MempoolAdmit)
+		cn.mpFaultUntil = 0
 	}
 	cn.down = true
 	cn.restartAt = r + downFor
@@ -781,8 +842,17 @@ func (h *harness) mine(r int) {
 			if end > len(h.txs) {
 				end = len(h.txs)
 			}
-			cn.miner.AddTxs(h.txs[h.txCursor:end])
+			// Guarded: with the mempool front end, feeding the pool runs
+			// admission (and its failpoint) rather than a plain append.
+			batch := h.txs[h.txCursor:end]
+			h.guard(r, cn, func() error {
+				cn.miner.AddTxs(batch)
+				return nil
+			})
 			h.txCursor = end
+			if cn.down {
+				continue
+			}
 		}
 		b, err := cn.miner.Mine(context.Background())
 		if err != nil {
@@ -973,6 +1043,7 @@ func (h *harness) converge() {
 	for _, cn := range h.nodes {
 		cn.pending = nil
 		cn.stalledUntil = 0
+		cn.mpFaultUntil = 0
 		if cn.down {
 			h.restart(r, cn)
 			if h.fail != nil {

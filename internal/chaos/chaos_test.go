@@ -83,3 +83,29 @@ func TestSweepAggregates(t *testing.T) {
 		t.Fatalf("sweep under-reported: %s", rep.Summary())
 	}
 }
+
+// TestScenarioMempoolConverges runs the sweep's mempool mode: miners
+// front the admission-controlled pool, admission faults drop fed
+// transactions at one node, and convergence must hold regardless —
+// admission shapes block content, never block execution.
+func TestScenarioMempoolConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node chaos scenario")
+	}
+	res, err := Run(Config{Seed: 5, Dir: t.TempDir(), Mempool: true})
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	if res.Failure != nil {
+		for _, ev := range res.Events {
+			t.Log(ev)
+		}
+		t.Fatal(res.Failure.Error())
+	}
+	if res.MempoolFaults < 1 {
+		t.Fatalf("mempool mode armed no admission faults\n%s", strings.Join(res.Events, "\n"))
+	}
+	if res.Epochs < minEpochs {
+		t.Fatalf("only %d epochs processed", res.Epochs)
+	}
+}

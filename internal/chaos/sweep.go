@@ -32,6 +32,7 @@ type Report struct {
 	Partitions    int
 	StorageErrors int
 	Stalls        int
+	MempoolFaults int
 }
 
 // Failed reports whether any scenario failed.
@@ -40,9 +41,9 @@ func (r *Report) Failed() bool { return len(r.Failures) > 0 }
 // Summary renders the sweep outcome as one line.
 func (r *Report) Summary() string {
 	return fmt.Sprintf(
-		"chaos: %d scenarios, %d failures | %d epochs, %d blocks | %d crash-restarts, %d partitions, %d storage errors, %d stalls",
+		"chaos: %d scenarios, %d failures | %d epochs, %d blocks | %d crash-restarts, %d partitions, %d storage errors, %d stalls, %d mempool faults",
 		r.Trials, len(r.Failures), r.Epochs, r.Blocks,
-		r.CrashRestarts, r.Partitions, r.StorageErrors, r.Stalls)
+		r.CrashRestarts, r.Partitions, r.StorageErrors, r.Stalls, r.MempoolFaults)
 }
 
 // Sweep runs Seeds scenarios sequentially (failpoints are process-global)
@@ -71,6 +72,7 @@ func Sweep(cfg SweepConfig) (*Report, error) {
 		rep.Partitions += res.Partitions
 		rep.StorageErrors += res.StorageErrors
 		rep.Stalls += res.Stalls
+		rep.MempoolFaults += res.MempoolFaults
 		if cfg.Verbose != nil {
 			status := "ok"
 			if res.Failure != nil {

@@ -38,4 +38,8 @@ const (
 	// p2p: the in-process network fabric (internal/p2p).
 	P2PDrop  Name = "p2p/drop"  // message delivery drop decision
 	P2PStall Name = "p2p/stall" // delivery stall (delay specs)
+
+	// mempool: the ingestion front end (internal/mempool).
+	MempoolAdmit Name = "mempool/admit" // transaction admission, before any pool mutation
+	MempoolEvict Name = "mempool/evict" // capacity eviction decision on a full shard
 )

@@ -36,11 +36,13 @@ type diffKey struct {
 
 // kindOrder fixes a canonical order for kinds sharing an epoch, so "first
 // divergence" is well-defined. Pipeline order: discards happen during
-// validation, the group layout during scheduling, the commit last.
+// validation, the surviving composition is assembled next, the group
+// layout during scheduling, the commit last.
 var kindOrder = map[Kind]int{
-	NodeBlockDiscard: 0,
-	SchedGroups:      1,
-	NodeEpochCommit:  2,
+	NodeBlockDiscard:  0,
+	NodeEpochAssembly: 1,
+	SchedGroups:       2,
+	NodeEpochCommit:   3,
 }
 
 func keyLess(a, b diffKey) bool {

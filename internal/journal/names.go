@@ -21,9 +21,10 @@ type Kind string
 // itself be compared across replicas.
 const (
 	// node: epoch pipeline outcomes (internal/node).
-	NodeEpochCommit  Kind = "node/epoch-commit"  // epoch finalized: root fold, committed, aborted, txs
-	NodeBlockDiscard Kind = "node/block-discard" // validation dropped a block: hash fold
-	NodeStageDone    Kind = "node/stage-done"    // one pipeline stage finished: stage name, tasks
+	NodeEpochCommit   Kind = "node/epoch-commit"   // epoch finalized: root fold, committed, aborted, txs
+	NodeBlockDiscard  Kind = "node/block-discard"  // validation dropped a block: hash fold
+	NodeEpochAssembly Kind = "node/epoch-assembly" // epoch composition feeding the scheduler: blocks, txs, block/tx-order digests
+	NodeStageDone     Kind = "node/stage-done"     // one pipeline stage finished: stage name, tasks
 
 	// sched: concurrency-control phase outputs (emitted by the node's
 	// schedule stage — the scheduler itself is determinism-critical code
@@ -57,9 +58,10 @@ const (
 // the epoch's content, never from timing, peer choice, or local restart
 // history (MVCC generations reset on restart, so state/* stays out).
 var deterministicKinds = map[Kind]bool{
-	NodeEpochCommit:  true,
-	NodeBlockDiscard: true,
-	SchedGroups:      true,
+	NodeEpochCommit:   true,
+	NodeBlockDiscard:  true,
+	NodeEpochAssembly: true,
+	SchedGroups:       true,
 }
 
 // Deterministic reports whether a kind's payload is replica-deterministic.

@@ -17,10 +17,10 @@
 //     registry, so a dynamic name can only be laundered from registered
 //     values.
 //   - Armed-only helpers (fail.Enable, fail.Disable, fail.Reset,
-//     fail.Seed) must not appear outside _test.go files or the chaos
-//     harness (internal/chaos): production code hits failpoints, it never
-//     arms them. nezha-vet analyzes non-test files, so _test.go usage is
-//     implicitly allowed.
+//     fail.Seed) must not appear outside _test.go files or the
+//     fault-injection harnesses (internal/chaos, internal/stress):
+//     production code hits failpoints, it never arms them. nezha-vet
+//     analyzes non-test files, so _test.go usage is implicitly allowed.
 //
 // There is deliberately no annotation escape hatch: an unregistered
 // failpoint is never benign — registering it is a one-line diff.

@@ -46,7 +46,7 @@ func run(pass *analysis.Pass) (any, error) {
 		return nil, nil
 	}
 	registered := registeredNames(failPkg)
-	armingAllowed := isChaosPkg(pass.Pkg.Path())
+	armingAllowed := isHarnessPkg(pass.Pkg.Path())
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -71,7 +71,7 @@ func run(pass *analysis.Pass) (any, error) {
 				checkNameExpr(pass, registered, call.Args[0], true)
 			case *types.Func:
 				if armedOnly[o.Name()] && !armingAllowed {
-					pass.Reportf(call.Pos(), "armed-only helper fail.%s outside _test.go and internal/chaos; production code hits failpoints, it never arms them", o.Name())
+					pass.Reportf(call.Pos(), "armed-only helper fail.%s outside _test.go and the harness packages (internal/chaos, internal/stress); production code hits failpoints, it never arms them", o.Name())
 				}
 				if nameArgFuncs[o.Name()] && len(call.Args) > 0 {
 					checkNameExpr(pass, registered, call.Args[0], false)
@@ -197,6 +197,10 @@ func isFailPkg(path string) bool {
 	return path == "fail" || strings.HasSuffix(path, "/fail")
 }
 
-func isChaosPkg(path string) bool {
-	return path == "chaos" || strings.HasSuffix(path, "/chaos")
+// isHarnessPkg reports whether a package is a fault-injection harness
+// allowed to arm failpoints from non-test code: internal/chaos (the
+// convergence harness) and internal/stress (the chaos soak driver).
+func isHarnessPkg(path string) bool {
+	return path == "chaos" || strings.HasSuffix(path, "/chaos") ||
+		path == "stress" || strings.HasSuffix(path, "/stress")
 }

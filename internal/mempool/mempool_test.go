@@ -1,0 +1,349 @@
+package mempool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/nezha-dag/nezha/internal/crypto"
+	"github.com/nezha-dag/nezha/internal/fail"
+	"github.com/nezha-dag/nezha/internal/types"
+)
+
+// tx builds an unsigned transaction from numeric parts; gas doubles as
+// the default priority.
+func tx(sender, nonce, gas uint64) *types.Transaction {
+	return &types.Transaction{
+		From:  types.AddressFromUint64(sender),
+		To:    types.AddressFromUint64(9999),
+		Nonce: nonce,
+		Value: 1,
+		Gas:   gas,
+	}
+}
+
+func mustAdmit(t *testing.T, p *Pool, txs ...*types.Transaction) {
+	t.Helper()
+	for _, x := range txs {
+		if err := p.Admit(x); err != nil {
+			t.Fatalf("admit %v: %v", x, err)
+		}
+	}
+}
+
+func nonces(txs []*types.Transaction) []uint64 {
+	out := make([]uint64, len(txs))
+	for i, x := range txs {
+		out[i] = x.Nonce
+	}
+	return out
+}
+
+func TestAdmitAndAssembleBasic(t *testing.T) {
+	p := New(Config{Tag: "t-basic"})
+	mustAdmit(t, p, tx(1, 1, 10), tx(1, 2, 10), tx(2, 1, 20))
+	if p.Len() != 3 {
+		t.Fatalf("len = %d, want 3", p.Len())
+	}
+	got := p.Assemble(10)
+	// Sender 2's run has head priority 20 > sender 1's 10.
+	want := []*types.Transaction{tx(2, 1, 20), tx(1, 1, 10), tx(1, 2, 10)}
+	if len(got) != len(want) {
+		t.Fatalf("assembled %d txs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Hash() != want[i].Hash() {
+			t.Fatalf("slot %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Assemble is a peek: nothing left the pool.
+	if p.Len() != 3 {
+		t.Fatalf("len after assemble = %d, want 3", p.Len())
+	}
+	p.MarkIncluded(got)
+	if p.Len() != 0 {
+		t.Fatalf("len after include = %d, want 0", p.Len())
+	}
+}
+
+func TestDuplicateAndNonceFloor(t *testing.T) {
+	p := New(Config{Tag: "t-dup"})
+	mustAdmit(t, p, tx(1, 1, 10))
+	if err := p.Admit(tx(1, 1, 10)); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate: got %v, want ErrDuplicate", err)
+	}
+	p.MarkIncluded([]*types.Transaction{tx(1, 1, 10)})
+	if got := p.Floor(types.AddressFromUint64(1)); got != 2 {
+		t.Fatalf("floor = %d, want 2", got)
+	}
+	if err := p.Admit(tx(1, 1, 10)); !errors.Is(err, ErrNonceTooLow) {
+		t.Fatalf("replay: got %v, want ErrNonceTooLow", err)
+	}
+}
+
+func TestReplacementByFee(t *testing.T) {
+	p := New(Config{Tag: "t-rbf"})
+	mustAdmit(t, p, tx(1, 1, 10))
+	// Equal priority is not a raise.
+	if err := p.Admit(tx(1, 1, 10)); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("same content: got %v, want ErrDuplicate", err)
+	}
+	lower := tx(1, 1, 5)
+	if err := p.Admit(lower); !errors.Is(err, ErrUnderpriced) {
+		t.Fatalf("lower priority: got %v, want ErrUnderpriced", err)
+	}
+	higher := tx(1, 1, 50)
+	if err := p.Admit(higher); err != nil {
+		t.Fatalf("replacement: %v", err)
+	}
+	if p.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (replaced in place)", p.Len())
+	}
+	got := p.Assemble(1)
+	if len(got) != 1 || got[0].Hash() != higher.Hash() {
+		t.Fatalf("assembled %v, want the replacement", got)
+	}
+}
+
+func TestStrictNonceGapParksLaterNonces(t *testing.T) {
+	p := New(Config{Tag: "t-gap", StrictNonce: true})
+	mustAdmit(t, p, tx(1, 1, 10), tx(1, 2, 10), tx(1, 4, 10), tx(1, 5, 10))
+	got := p.Assemble(10)
+	if want := []uint64{1, 2}; fmt.Sprint(nonces(got)) != fmt.Sprint(want) {
+		t.Fatalf("assembled nonces %v, want %v (gap at 3 parks 4,5)", nonces(got), want)
+	}
+	p.MarkIncluded(got)
+	// Floor is now 3 and the queue holds {4,5}: the known front gap parks
+	// the sender entirely.
+	if got := p.Assemble(10); len(got) != 0 {
+		t.Fatalf("assembled %v past a known front gap, want none", nonces(got))
+	}
+	// The missing nonce arrives; the full run resumes.
+	mustAdmit(t, p, tx(1, 3, 10))
+	got = p.Assemble(10)
+	if want := []uint64{3, 4, 5}; fmt.Sprint(nonces(got)) != fmt.Sprint(want) {
+		t.Fatalf("assembled nonces %v, want %v after gap fill", nonces(got), want)
+	}
+}
+
+func TestSenderCap(t *testing.T) {
+	p := New(Config{Tag: "t-scap", SenderCap: 2})
+	mustAdmit(t, p, tx(1, 1, 10), tx(1, 2, 10))
+	if err := p.Admit(tx(1, 3, 10)); !errors.Is(err, ErrSenderLimit) {
+		t.Fatalf("over cap: got %v, want ErrSenderLimit", err)
+	}
+	// Another sender is unaffected.
+	mustAdmit(t, p, tx(2, 1, 10))
+}
+
+func TestEvictionDeterminism(t *testing.T) {
+	// One shard, capacity 4. The weakest tail by (priority, sender desc,
+	// nonce desc) must be evicted regardless of admission order.
+	build := func(order []*types.Transaction) *Pool {
+		p := New(Config{Tag: "t-evict", Shards: 1, ShardCap: 4, SenderCap: 8})
+		mustAdmit(t, p, order...)
+		return p
+	}
+	a, b, c, d := tx(1, 1, 10), tx(1, 2, 5), tx(2, 1, 7), tx(3, 1, 9)
+	incoming := tx(4, 1, 20)
+
+	orders := [][]*types.Transaction{
+		{a, b, c, d},
+		{d, c, b, a},
+		{c, a, d, b},
+	}
+	var want string
+	for i, order := range orders {
+		p := build(order)
+		if err := p.Admit(incoming); err != nil {
+			t.Fatalf("order %d: overflow admit: %v", i, err)
+		}
+		if p.Len() != 4 {
+			t.Fatalf("order %d: len = %d, want 4", i, p.Len())
+		}
+		// Victim must be b: tails are b(prio 5), c(7), d(9) — a is not a
+		// tail (sender 1's tail is nonce 2) — and b has the lowest priority.
+		if p.PendingFor(types.AddressFromUint64(1)) != 1 {
+			t.Fatalf("order %d: sender 1 kept %d txs, want 1 (tail evicted)",
+				i, p.PendingFor(types.AddressFromUint64(1)))
+		}
+		got := fmt.Sprint(nonces(p.Assemble(10)))
+		if i == 0 {
+			want = got
+		} else if got != want {
+			t.Fatalf("order %d: assembly %s, want %s (admission order leaked)", i, got, want)
+		}
+	}
+
+	// An incoming transaction weaker than every tail is itself rejected.
+	p := build([]*types.Transaction{a, b, c, d})
+	if err := p.Admit(tx(5, 1, 1)); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("weak overflow: got %v, want ErrPoolFull", err)
+	}
+}
+
+func TestRateLimitRecovery(t *testing.T) {
+	now := time.Unix(1000, 0)
+	p := New(Config{
+		Tag:   "t-rate",
+		Rate:  1, // 1 tx/sec, burst 1
+		Clock: func() time.Time { return now },
+	})
+	mustAdmit(t, p, tx(1, 1, 10))
+	if err := p.Admit(tx(1, 2, 10)); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("burst exceeded: got %v, want ErrRateLimited", err)
+	}
+	// Replacement of a queued nonce is not rate limited.
+	if err := p.Admit(tx(1, 1, 99)); err != nil {
+		t.Fatalf("replacement under rate pressure: %v", err)
+	}
+	// The bucket refills with time; admission recovers.
+	now = now.Add(1500 * time.Millisecond)
+	mustAdmit(t, p, tx(1, 2, 10))
+	// Other senders have their own buckets.
+	mustAdmit(t, p, tx(2, 1, 10))
+}
+
+func TestAssembleTruncationKeepsNoncePrefix(t *testing.T) {
+	p := New(Config{Tag: "t-trunc", StrictNonce: true})
+	mustAdmit(t, p, tx(1, 1, 10), tx(1, 2, 10), tx(1, 3, 10), tx(2, 1, 5))
+	got := p.Assemble(2)
+	if want := []uint64{1, 2}; fmt.Sprint(nonces(got)) != fmt.Sprint(want) {
+		t.Fatalf("assembled %v, want prefix %v", nonces(got), want)
+	}
+}
+
+func TestAdmitBatchVerifiesSignatures(t *testing.T) {
+	p := New(Config{Tag: "t-sig", VerifySignatures: true, Workers: 4})
+	txs := make([]*types.Transaction, 6)
+	for i := range txs {
+		key := crypto.KeyForAccount(uint64(i))
+		txs[i] = &types.Transaction{
+			From:  key.Address(),
+			To:    types.AddressFromUint64(9999),
+			Nonce: 1,
+			Value: 1,
+			Gas:   10,
+		}
+		key.SignTx(txs[i])
+	}
+	// Corrupt one signature.
+	txs[3].Sig[40] ^= 0xff
+	admitted, errs := p.AdmitBatch(txs)
+	if admitted != 5 {
+		t.Fatalf("admitted %d, want 5", admitted)
+	}
+	for i, err := range errs {
+		if i == 3 {
+			if !errors.Is(err, ErrBadSignature) {
+				t.Fatalf("corrupt slot: got %v, want ErrBadSignature", err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+	}
+	if err := p.Admit(&types.Transaction{From: types.AddressFromUint64(7), Nonce: 1, Gas: 1}); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("unsigned single admit: got %v, want ErrBadSignature", err)
+	}
+}
+
+func TestAdmitFailpoint(t *testing.T) {
+	defer fail.Reset()
+	fail.Enable(fail.MempoolAdmit, fail.Spec{Mode: fail.ModeError})
+	p := New(Config{Tag: "t-fp"})
+	err := p.Admit(tx(1, 1, 10))
+	if !errors.Is(err, fail.ErrInjected) {
+		t.Fatalf("armed admit: got %v, want ErrInjected", err)
+	}
+	fail.Reset()
+	mustAdmit(t, p, tx(1, 1, 10))
+}
+
+func TestEvictFailpoint(t *testing.T) {
+	defer fail.Reset()
+	p := New(Config{Tag: "t-fpe", Shards: 1, ShardCap: 2, SenderCap: 8})
+	mustAdmit(t, p, tx(1, 1, 10), tx(2, 1, 10))
+	fail.Enable(fail.MempoolEvict, fail.Spec{Mode: fail.ModeError})
+	err := p.Admit(tx(3, 1, 99))
+	if !errors.Is(err, fail.ErrInjected) {
+		t.Fatalf("armed evict: got %v, want ErrInjected", err)
+	}
+	fail.Reset()
+	if err := p.Admit(tx(3, 1, 99)); err != nil {
+		t.Fatalf("disarmed evict: %v", err)
+	}
+}
+
+func TestConcurrentAdmitAssemble(t *testing.T) {
+	p := New(Config{Tag: "t-conc", ShardCap: -1, SenderCap: -1})
+	const senders = 8
+	const perSender = 200
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s uint64) {
+			defer wg.Done()
+			for n := uint64(1); n <= perSender; n++ {
+				if err := p.Admit(tx(s, n, 10+s)); err != nil {
+					t.Errorf("sender %d nonce %d: %v", s, n, err)
+					return
+				}
+			}
+		}(uint64(s))
+	}
+	stop := make(chan struct{})
+	var included int
+	var miner sync.WaitGroup
+	miner.Add(1)
+	go func() {
+		defer miner.Done()
+		for {
+			batch := p.Assemble(64)
+			p.MarkIncluded(batch)
+			included += len(batch)
+			select {
+			case <-stop:
+				if len(batch) == 0 {
+					return
+				}
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	miner.Wait()
+	if total := included + p.Len(); total != senders*perSender {
+		t.Fatalf("conservation: included %d + pending %d = %d, want %d",
+			included, p.Len(), total, senders*perSender)
+	}
+}
+
+func TestAssembleDeterministicAcrossPools(t *testing.T) {
+	// Same multiset of admissions in different orders: identical assembly.
+	txs := make([]*types.Transaction, 0, 30)
+	for s := uint64(1); s <= 5; s++ {
+		for n := uint64(1); n <= 6; n++ {
+			txs = append(txs, tx(s, n, s*7%11))
+		}
+	}
+	p1 := New(Config{Tag: "t-det1"})
+	p2 := New(Config{Tag: "t-det2"})
+	mustAdmit(t, p1, txs...)
+	for i := len(txs) - 1; i >= 0; i-- {
+		mustAdmit(t, p2, txs[i])
+	}
+	a1, a2 := p1.Assemble(100), p2.Assemble(100)
+	if len(a1) != len(a2) {
+		t.Fatalf("lengths differ: %d vs %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i].Hash() != a2[i].Hash() {
+			t.Fatalf("slot %d differs: %v vs %v", i, a1[i], a2[i])
+		}
+	}
+}

@@ -104,6 +104,41 @@ func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
+// Quantile estimates the q-th quantile (q in [0, 1]) from the bucket
+// counts by linear interpolation inside the owning bucket — the same
+// estimator Prometheus's histogram_quantile applies server-side, so a
+// report printed from this method matches what a dashboard would show.
+// Resolution is bounded by bucket width: with DurationBuckets a p99 of
+// "3.1ms" really means "in the 2.5–5ms bucket, ~24% in". Returns NaN on
+// an empty histogram; samples in the +Inf bucket clamp to the highest
+// finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || math.IsNaN(q) || len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, bound := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if c > 0 && cum+c >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			return lower + (bound-lower)*(rank-cum)/c
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return h.sum.load() }
 

@@ -213,3 +213,43 @@ func TestFormatValue(t *testing.T) {
 		}
 	}
 }
+
+// TestHistogramQuantile pins the interpolation estimator: uniform samples
+// across known buckets must recover the exact quantiles, and the edge
+// cases (empty, +Inf overflow, clamped q) behave as documented.
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "", []float64{1, 2, 4})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram must report NaN")
+	}
+	// 100 samples: 50 in (0,1], 25 in (1,2], 25 in (2,4].
+	for i := 0; i < 50; i++ {
+		h.Observe(0.5)
+	}
+	for i := 0; i < 25; i++ {
+		h.Observe(1.5)
+	}
+	for i := 0; i < 25; i++ {
+		h.Observe(3)
+	}
+	cases := []struct{ q, want float64 }{
+		{0.25, 0.5},  // rank 25 of 50 in bucket (0,1] → halfway
+		{0.5, 1.0},   // rank 50: exactly exhausts the first bucket
+		{0.75, 2.0},  // rank 75: exhausts the second
+		{0.875, 3.0}, // rank 87.5: halfway through (2,4]
+		{1.0, 4.0},
+		{-1, 0.0},  // clamps to q=0 → lower edge of first occupied bucket
+		{2.0, 4.0}, // clamps to q=1
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Overflow samples land in +Inf; the estimate clamps to the top bound.
+	h.Observe(100)
+	if got := h.Quantile(1); got != 4 {
+		t.Errorf("Quantile(1) with +Inf samples = %v, want clamp to 4", got)
+	}
+}

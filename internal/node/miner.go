@@ -6,16 +6,27 @@ import (
 	"time"
 
 	"github.com/nezha-dag/nezha/internal/consensus"
+	"github.com/nezha-dag/nezha/internal/mempool"
 	"github.com/nezha-dag/nezha/internal/types"
 )
 
 // Miner drives block production for one node: it keeps a transaction pool,
 // assembles block templates over the node's current tips and latest
 // processed state root, and runs the OHIE proof of work.
+//
+// The pool is one of two implementations. The default is the legacy flat
+// FIFO slice — kept byte-identical because the assembled-epoch tests and
+// the differential oracles depend on its ordering. With Config.Mempool
+// set, the miner instead fronts an internal/mempool.Pool: AddTxs becomes
+// batched admission and assembly takes the pool's deterministic
+// priority/nonce order.
 type Miner struct {
 	node      *Node
 	addr      types.Address
 	blockSize int
+
+	// mp, when non-nil, replaces the flat pool below entirely.
+	mp *mempool.Pool
 
 	mu    sync.Mutex
 	pool  []*types.Transaction
@@ -27,7 +38,7 @@ type Miner struct {
 // NewMiner attaches a miner to a node. blockSize caps transactions per
 // block (the paper uses 200, §VI-A).
 func NewMiner(n *Node, addr types.Address, blockSize int) *Miner {
-	return &Miner{
+	m := &Miner{
 		node:      n,
 		addr:      addr,
 		blockSize: blockSize,
@@ -35,10 +46,31 @@ func NewMiner(n *Node, addr types.Address, blockSize int) *Miner {
 		seed:      uint64(types.HashBytes(addr[:])[0]) << 32, // disjoint nonce ranges per miner
 		clock:     func() uint64 { return uint64(time.Now().UnixMilli()) },
 	}
+	if n.cfg.Mempool != nil {
+		mpCfg := *n.cfg.Mempool
+		if mpCfg.Tag == "" {
+			mpCfg.Tag = n.id
+		}
+		m.mp = mempool.New(mpCfg)
+	}
+	return m
 }
 
-// AddTxs queues transactions, dropping ones already seen.
+// Pool exposes the miner's admission-controlled mempool (nil when the
+// node runs the legacy flat pool). Submitters that want typed
+// backpressure — rather than AddTxs's fire-and-forget — admit through it
+// directly.
+func (m *Miner) Pool() *mempool.Pool { return m.mp }
+
+// AddTxs queues transactions, dropping ones already seen. With a mempool
+// attached this is batched admission; rejections (duplicates, rate
+// limits, capacity) are counted in nezha_mempool_dropped_total rather
+// than reported — gossip redelivery is not a caller that can react.
 func (m *Miner) AddTxs(txs []*types.Transaction) {
+	if m.mp != nil {
+		m.mp.AdmitBatch(txs)
+		return
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, tx := range txs {
@@ -53,6 +85,9 @@ func (m *Miner) AddTxs(txs []*types.Transaction) {
 
 // PoolSize returns the number of queued transactions.
 func (m *Miner) PoolSize() int {
+	if m.mp != nil {
+		return m.mp.Len()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.pool)
@@ -61,12 +96,19 @@ func (m *Miner) PoolSize() int {
 // Mine assembles and mines one block. The transactions leave the pool only
 // on success; a cancelled search returns them.
 func (m *Miner) Mine(ctx context.Context) (*types.Block, error) {
+	var txs []*types.Transaction
 	m.mu.Lock()
-	take := m.blockSize
-	if take > len(m.pool) {
-		take = len(m.pool)
+	if m.mp != nil {
+		// Assemble is a peek: the transactions stay queued until the
+		// search succeeds, so a cancelled attempt forfeits nothing.
+		txs = m.mp.Assemble(m.blockSize)
+	} else {
+		take := m.blockSize
+		if take > len(m.pool) {
+			take = len(m.pool)
+		}
+		txs = append([]*types.Transaction(nil), m.pool[:take]...)
 	}
-	txs := append([]*types.Transaction(nil), m.pool[:take]...)
 	m.seed += 1_000_000 // fresh nonce range per attempt
 	seed := m.seed
 	m.mu.Unlock()
@@ -81,6 +123,12 @@ func (m *Miner) Mine(ctx context.Context) (*types.Block, error) {
 	}, m.node.cfg.Consensus)
 	if err != nil {
 		return nil, err
+	}
+	if m.mp != nil {
+		// Success: advance each sender's inclusion floor past the mined
+		// nonces so gossip echoes bounce off admission.
+		m.mp.MarkIncluded(txs)
+		return b, nil
 	}
 	// Remove the mined transactions; the pool may have grown while the
 	// nonce search ran.

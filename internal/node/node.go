@@ -24,6 +24,7 @@ import (
 	"github.com/nezha-dag/nezha/internal/fail"
 	"github.com/nezha-dag/nezha/internal/journal"
 	"github.com/nezha-dag/nezha/internal/kvstore"
+	"github.com/nezha-dag/nezha/internal/mempool"
 	"github.com/nezha-dag/nezha/internal/metrics"
 	"github.com/nezha-dag/nezha/internal/mpt"
 	"github.com/nezha-dag/nezha/internal/mvcc"
@@ -103,6 +104,15 @@ type Config struct {
 	// predicted from the sender/recipient balance cells. Mispredictions
 	// are harmless — the prefetch is a pure cache warm-up.
 	PredictReads func(tx *types.Transaction) []types.Key
+	// Mempool, when set, replaces the miner's flat FIFO transaction pool
+	// with the sharded admission-controlled pool of internal/mempool:
+	// AddTxs becomes batched admission (typed backpressure errors, rate
+	// limits, deterministic eviction) and block assembly takes the pool's
+	// priority/nonce order. Nil — the default — keeps the legacy pool,
+	// byte-identical to pre-mempool behaviour; the assembled-epoch tests
+	// and the differential oracles rely on that. The Tag is filled with
+	// the node id when empty.
+	Mempool *mempool.Config
 }
 
 // Node is one full node. Public methods are safe for concurrent use.

@@ -169,7 +169,51 @@ func (n *Node) validateStage(er *epochRun, ss *metrics.StageStat) error {
 	}
 	er.epoch = types.NewEpoch(er.number, valid)
 	er.stats.Txs = len(er.epoch.Txs)
+	// The assembled composition — which blocks survived validation, in
+	// what order, carrying which transactions — is the scheduler's entire
+	// input. Journaling its digests here is what lets divergence forensics
+	// tell "the nodes scheduled different inputs" apart from "the nodes
+	// scheduled the same input differently" (ROADMAP item 6). Enabled()
+	// gates the digest walk, not just the append.
+	if journal.Enabled() {
+		bd, td := assemblyDigests(valid, er.epoch.Txs)
+		n.jr.Emit(journal.NodeEpochAssembly, er.number,
+			journal.F("blocks", uint64(len(valid))),
+			journal.F("txs", uint64(len(er.epoch.Txs))),
+			journal.F("bdigest", bd),
+			journal.F("tdigest", td))
+	}
 	return nil
+}
+
+// assemblyDigests folds the epoch composition into two comparable values:
+// FNV-1a over the surviving block hashes in epoch order, and over the
+// transaction hashes in their assigned ID order. Any difference in which
+// blocks survived, their order, or the tx order they induce perturbs one
+// of the digests.
+func assemblyDigests(blocks []*types.Block, txs []*types.Transaction) (uint64, uint64) {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	fold := func(h uint64, b []byte) uint64 {
+		for _, c := range b {
+			h ^= uint64(c)
+			h *= prime
+		}
+		return h
+	}
+	bd := uint64(offset)
+	for _, b := range blocks {
+		h := b.Hash()
+		bd = fold(bd, h[:])
+	}
+	td := uint64(offset)
+	for _, tx := range txs {
+		h := tx.Hash()
+		td = fold(td, h[:])
+	}
+	return bd, td
 }
 
 // executeStage speculatively executes the epoch's transactions against the

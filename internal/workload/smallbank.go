@@ -30,6 +30,12 @@ type Config struct {
 	// five write ops uniformly otherwise. The default (negative) keeps
 	// the paper's uniform mix (each op 1/6).
 	ReadOnlyRatio float64
+	// PerSenderNonces numbers each sender's transactions with its own
+	// dense counter (1, 2, 3, ...) instead of the legacy global counter,
+	// which is sparse per sender. The mempool's nonce-ordered queues and
+	// StrictNonce assembly need dense per-sender nonces; the default
+	// (off) keeps historical transaction streams byte-identical.
+	PerSenderNonces bool
 }
 
 // DefaultConfig returns the paper's workload parameters.
@@ -41,11 +47,12 @@ func DefaultConfig() Config {
 // simulation results directly, bypassing the VM, for pure concurrency-
 // control benchmarks where execution cost is out of scope.
 type Generator struct {
-	cfg   Config
-	zipf  *Zipfian
-	rng   *rand.Rand
-	nonce uint64
-	keys  map[uint64]*crypto.Key
+	cfg    Config
+	zipf   *Zipfian
+	rng    *rand.Rand
+	nonce  uint64
+	nonces map[uint64]uint64 // per-sender counters (PerSenderNonces)
+	keys   map[uint64]*crypto.Key
 }
 
 // NewGenerator builds a deterministic workload generator.
@@ -58,10 +65,11 @@ func NewGenerator(cfg Config) (*Generator, error) {
 		return nil, err
 	}
 	return &Generator{
-		cfg:  cfg,
-		zipf: zipf,
-		rng:  rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
-		keys: make(map[uint64]*crypto.Key),
+		cfg:    cfg,
+		zipf:   zipf,
+		rng:    rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		nonces: make(map[uint64]uint64),
+		keys:   make(map[uint64]*crypto.Key),
 	}, nil
 }
 
@@ -103,11 +111,18 @@ func (g *Generator) NextCall() Call {
 // SmallBank contract (payload format in EncodeCall).
 func (g *Generator) NextTx() *types.Transaction {
 	call := g.NextCall()
-	g.nonce++
+	var nonce uint64
+	if g.cfg.PerSenderNonces {
+		g.nonces[call.Acct1]++
+		nonce = g.nonces[call.Acct1]
+	} else {
+		g.nonce++
+		nonce = g.nonce
+	}
 	tx := &types.Transaction{
 		From:    types.AddressFromUint64(call.Acct1),
 		To:      smallbank.ContractAddress,
-		Nonce:   g.nonce,
+		Nonce:   nonce,
 		Gas:     1_000_000,
 		Payload: EncodeCall(call),
 	}
@@ -181,6 +196,22 @@ func (g *Generator) Snapshot(txs []*types.Transaction) (map[types.Key][]byte, er
 		}
 	}
 	return snap, nil
+}
+
+// GenesisAll materializes the initial balances of the ENTIRE account
+// population as genesis writes. Streaming ingestion needs this instead of
+// Snapshot: the transaction stream is unbounded, so there is no up-front
+// tx set to derive the touched accounts from.
+func (g *Generator) GenesisAll() []types.WriteEntry {
+	val := encodeBalance(g.cfg.InitialBalance)
+	out := make([]types.WriteEntry, 0, 2*g.cfg.Accounts)
+	for acct := uint64(0); acct < g.cfg.Accounts; acct++ {
+		out = append(out,
+			types.WriteEntry{Key: smallbank.SavingsKey(acct), Value: val},
+			types.WriteEntry{Key: smallbank.CheckingKey(acct), Value: val},
+		)
+	}
+	return out
 }
 
 // Simulate produces the SimResult of every transaction against the given

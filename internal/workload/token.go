@@ -22,6 +22,11 @@ type TokenConfig struct {
 	// MintRatio in [0,1] is the fraction of operations that mint instead
 	// of transfer (mints contend on the global supply cell).
 	MintRatio float64
+	// PerSenderNonces numbers each sender's transactions with its own
+	// dense counter instead of the sparse global one — what the mempool's
+	// nonce-ordered queues expect. Default off (historical streams
+	// byte-identical).
+	PerSenderNonces bool
 }
 
 // DefaultTokenConfig mirrors the SmallBank defaults.
@@ -31,10 +36,11 @@ func DefaultTokenConfig() TokenConfig {
 
 // TokenGenerator produces token-contract transactions.
 type TokenGenerator struct {
-	cfg   TokenConfig
-	zipf  *Zipfian
-	rng   *rand.Rand
-	nonce uint64
+	cfg    TokenConfig
+	zipf   *Zipfian
+	rng    *rand.Rand
+	nonce  uint64
+	nonces map[uint64]uint64 // per-sender counters (PerSenderNonces)
 }
 
 // NewTokenGenerator builds a deterministic token workload generator.
@@ -50,15 +56,15 @@ func NewTokenGenerator(cfg TokenConfig) (*TokenGenerator, error) {
 		return nil, err
 	}
 	return &TokenGenerator{
-		cfg:  cfg,
-		zipf: zipf,
-		rng:  rand.New(rand.NewSource(cfg.Seed ^ 0x70ce)),
+		cfg:    cfg,
+		zipf:   zipf,
+		rng:    rand.New(rand.NewSource(cfg.Seed ^ 0x70ce)),
+		nonces: make(map[uint64]uint64),
 	}, nil
 }
 
 // NextTx draws the next token transaction.
 func (g *TokenGenerator) NextTx() *types.Transaction {
-	g.nonce++
 	var call token.Call
 	if g.rng.Float64() < g.cfg.MintRatio {
 		call = token.Call{Op: token.OpMint, Arg1: g.zipf.Next(), Amount: uint64(g.rng.Intn(50) + 1)}
@@ -73,10 +79,18 @@ func (g *TokenGenerator) NextTx() *types.Transaction {
 		}
 		call = token.Call{Op: token.OpTransfer, Arg1: from, Arg2: to, Amount: uint64(g.rng.Intn(100) + 1)}
 	}
+	var nonce uint64
+	if g.cfg.PerSenderNonces {
+		g.nonces[call.Arg1]++
+		nonce = g.nonces[call.Arg1]
+	} else {
+		g.nonce++
+		nonce = g.nonce
+	}
 	return &types.Transaction{
 		From:    types.AddressFromUint64(call.Arg1),
 		To:      token.ContractAddress,
-		Nonce:   g.nonce,
+		Nonce:   nonce,
 		Gas:     1_000_000,
 		Payload: call.Encode(),
 	}
@@ -88,6 +102,24 @@ func (g *TokenGenerator) Txs(n int) []*types.Transaction {
 	for i := range out {
 		out[i] = g.NextTx()
 	}
+	return out
+}
+
+// GenesisAll materializes the initial balances of the ENTIRE account
+// population plus the matching total supply. Streaming ingestion needs
+// this instead of Genesis: the transaction stream is unbounded, so there
+// is no up-front tx set to derive the touched accounts from.
+func (g *TokenGenerator) GenesisAll() []types.WriteEntry {
+	out := make([]types.WriteEntry, 0, g.cfg.Accounts+1)
+	for acct := uint64(0); acct < g.cfg.Accounts; acct++ {
+		out = append(out, types.WriteEntry{
+			Key: token.BalanceKey(acct), Value: EncodeBalance(g.cfg.InitialBalance),
+		})
+	}
+	out = append(out, types.WriteEntry{
+		Key:   token.SupplyKey(),
+		Value: EncodeBalance(g.cfg.InitialBalance * g.cfg.Accounts),
+	})
 	return out
 }
 
