@@ -2,11 +2,12 @@
 // (internal/chaos) from the command line — the same sweep CI runs, in a
 // form that reproduces a CI failure locally in one command.
 //
-//	nezha-chaos run    -seeds 20                 # seed sweep
-//	nezha-chaos replay -seed 7 -v                # one scenario, verbose event log
+//	nezha-chaos run         -seeds 20      # seed sweep
+//	nezha-chaos replay      -seed 7 -v     # one scenario, verbose event log
+//	nezha-chaos sweep-crash -v             # crash-and-recover every failpoint site
 //
-// run exits nonzero on any failed scenario and prints the exact replay
-// command for each failure.
+// Exit codes: 0 when every scenario/trial converged, 1 when any failed
+// (the failure report precedes the exit), 2 on usage errors.
 package main
 
 import (
@@ -28,6 +29,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "replay":
 		err = cmdReplay(os.Args[2:])
+	case "sweep-crash":
+		err = cmdSweepCrash(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -42,8 +45,12 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: nezha-chaos <command> [flags]
 
 commands:
-  run     sweep scenario seeds through the chaos cluster and check convergence
-  replay  re-run one scenario by seed with its event log`)
+  run          sweep scenario seeds through the chaos cluster and check convergence
+  replay       re-run one scenario by seed with its event log
+  sweep-crash  crash-and-restart a node at every registered failpoint site and
+               torn-WAL offset, checking recovery against a never-crashed twin
+
+exit codes: 0 all converged, 1 any scenario/trial failed, 2 usage error`)
 }
 
 // scenarioFlags registers the per-scenario knobs shared by run and replay.
@@ -119,6 +126,53 @@ func cmdReplay(args []string) error {
 		}
 		return nil
 	}
-	fmt.Printf("result: FAIL\n%s\n", res.Failure.Error())
-	return fmt.Errorf("replay: scenario failed")
+	// Structured failure report: the what/where line, the journal dump
+	// location, and — set apart, because it is the part worth reading
+	// first — the earliest cross-node divergence the flight recorders saw.
+	f := res.Failure
+	fmt.Printf("result: FAIL\nseed %d round %d: %s\n", f.Seed, f.Round, f.Msg)
+	if f.JournalDir != "" {
+		fmt.Printf("journals: %s\n", f.JournalDir)
+	}
+	if f.Divergence != "" {
+		fmt.Printf("first divergence:\n%s\n", f.Divergence)
+	} else {
+		fmt.Println("deterministic journals agree across nodes (wedge or timeout, not a state split)")
+	}
+	return fmt.Errorf("replay: scenario failed (reproduce: nezha-chaos replay -seed %d)", f.Seed)
+}
+
+func cmdSweepCrash(args []string) error {
+	fs := flag.NewFlagSet("sweep-crash", flag.ExitOnError)
+	cfg := chaos.CrashSweepConfig{}
+	fs.IntVar(&cfg.Rounds, "rounds", 0, "mining rounds per trial (0 = default 12)")
+	fs.IntVar(&cfg.Chains, "chains", 0, "parallel chains per trial (0 = default 2)")
+	fs.IntVar(&cfg.TornOffsets, "torn", 0, "torn-WAL truncation offsets to sweep (0 = default 4)")
+	fs.Int64Var(&cfg.Seed, "seed", 0, "workload seed (0 = default 11)")
+	fs.StringVar(&cfg.Dir, "dir", "", "scratch dir for trial stores (default: temp, kept on failure)")
+	verbose := fs.Bool("v", false, "one line per trial")
+	fs.Parse(args)
+
+	if *verbose {
+		cfg.Verbose = os.Stdout
+	}
+	rep, err := chaos.CrashSweep(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.Summary())
+	failures := 0
+	for _, t := range rep.Trials {
+		if t.Err != "" {
+			failures++
+			fmt.Printf("FAIL %s: %s\n", t.Name, t.Err)
+		}
+	}
+	if failures > 0 {
+		if rep.Dir != "" {
+			fmt.Printf("trial stores kept for forensics: %s\n", rep.Dir)
+		}
+		return fmt.Errorf("sweep-crash: %d of %d trials failed", failures, len(rep.Trials))
+	}
+	return nil
 }

@@ -17,13 +17,19 @@
 // Every Failure message embeds the nezha-chaos replay command.
 //
 // The harness deliberately keeps block production fork-free: only nodes
-// that hold every block any live node holds may mine, so the block DAG
-// grows linearly and any state divergence is attributable to the injected
-// faults rather than to probabilistic fork-choice finality (fork
-// convergence under concurrent mining is TestGossipNetworkConvergesOnRoots'
-// job). Faults still create real disagreement — crashed nodes lose their
-// unpersisted ledger tail, partitioned and stalled nodes miss broadcasts —
-// which the self-healing sync layer must repair.
+// that hold every block any live node holds may mine, and every mined
+// block must be holdable by at least two non-stalled majority-side nodes,
+// so the block DAG grows linearly and any state divergence is attributable
+// to the injected faults rather than to probabilistic fork-choice finality
+// (fork convergence under concurrent mining is
+// TestGossipNetworkConvergesOnRoots' job). The two-holder rule counts only
+// nodes that can actually receive the broadcast — a stalled node's armed
+// delivery-drop makes it a holder on paper only (see mine) — otherwise a
+// solo miner can persist a private lineage whose crash-replay later
+// collides with the cluster's re-mined history (the seed-3 divergence,
+// ROADMAP item 6). Faults still create real disagreement — crashed nodes
+// lose their unpersisted ledger tail, partitioned and stalled nodes miss
+// broadcasts — which the self-healing sync layer must repair.
 //
 // Failpoints are process-global, so scenarios must not run concurrently;
 // Run executes its seed sweep sequentially.
@@ -817,19 +823,26 @@ func (h *harness) caughtUp(cn *chaosNode, max []uint64) bool {
 
 // mine produces this round's blocks. Only fully-caught-up majority-side
 // nodes are eligible — the fork-free discipline documented in the package
-// comment — and at least two such nodes must be reachable from each other
-// so no mined block can ever have a single holder.
+// comment — and at least two such nodes must be able to HOLD the block so
+// no mined block can ever have a single holder. Stalled nodes are excluded
+// from that holder count, not just from candidacy: a stalled node's armed
+// delivery-drop makes it a holder on paper only, and a sole candidate
+// mining into stalled and partitioned peers builds a private lineage that
+// it alone persists — which a later crash-replay resurrects against the
+// cluster's re-mined history of those heights. That resurrection was the
+// seed-3 divergence (ROADMAP item 6; regression-tested in
+// TestCrashReplayResurrectionConverges).
 func (h *harness) mine(r int) {
 	for i := 0; i < blocksPerRound && h.fail == nil; i++ {
 		max := h.aliveMax()
 		var candidates []*chaosNode
 		majority := 0
 		for _, cn := range h.nodes {
-			if cn.down || h.minority[cn.id] {
+			if cn.down || h.minority[cn.id] || cn.stalledUntil != 0 {
 				continue
 			}
 			majority++
-			if cn.stalledUntil == 0 && h.caughtUp(cn, max) {
+			if h.caughtUp(cn, max) {
 				candidates = append(candidates, cn)
 			}
 		}

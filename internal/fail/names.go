@@ -19,6 +19,7 @@ const (
 	// kvstore: the durability path (internal/kvstore).
 	KVWALAppend Name = "kvstore/wal-append" // WAL record append, before the buffered write
 	KVWALSync   Name = "kvstore/wal-sync"   // WAL fsync
+	KVWALReplay Name = "kvstore/wal-replay" // WAL record replay during recovery, per intact record
 	KVApply     Name = "kvstore/apply"      // memtable apply of a committed batch
 	KVFlush     Name = "kvstore/flush"      // memtable -> SSTable flush
 	KVCompact   Name = "kvstore/compact"    // SSTable compaction
@@ -27,6 +28,7 @@ const (
 	NodeSubmit        Name = "node/submit"         // transaction submission
 	NodePersist       Name = "node/persist"        // epoch persistence, before the store write
 	NodePersistDone   Name = "node/persist-done"   // epoch persistence, after the commit point
+	NodeRestore       Name = "node/restore"        // persisted-state restore at node construction
 	NodeDivergeRoot   Name = "node/diverge-root"   // corrupt the reported epoch root (journal forensics meta-tests)
 	NodeStageValidate Name = "node/stage-validate" // handoff into the validate stage
 	NodeStageExecute  Name = "node/stage-execute"  // handoff into the execute stage
@@ -43,3 +45,35 @@ const (
 	MempoolAdmit Name = "mempool/admit" // transaction admission, before any pool mutation
 	MempoolEvict Name = "mempool/evict" // capacity eviction decision on a full shard
 )
+
+// AllNames returns every registered failpoint name in registry order. The
+// crash-point sweep (internal/chaos) iterates it so a newly registered
+// site is swept — or explicitly exempted with a reason — automatically;
+// TestAllNamesCoversRegistry keeps this list in sync with the constants
+// above.
+func AllNames() []Name {
+	return []Name{
+		BenchDisarmed,
+		KVWALAppend,
+		KVWALSync,
+		KVWALReplay,
+		KVApply,
+		KVFlush,
+		KVCompact,
+		NodeSubmit,
+		NodePersist,
+		NodePersistDone,
+		NodeRestore,
+		NodeDivergeRoot,
+		NodeStageValidate,
+		NodeStageExecute,
+		NodeStageSchedule,
+		NodeStageCommit,
+		NodeStageSerial,
+		NodeStagePrefetch,
+		P2PDrop,
+		P2PStall,
+		MempoolAdmit,
+		MempoolEvict,
+	}
+}

@@ -1,0 +1,69 @@
+package fail
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"testing"
+)
+
+// TestAllNamesCoversRegistry parses names.go and asserts AllNames returns
+// exactly the declared Name constants, once each. The crash-point sweep
+// trusts AllNames as the complete site inventory; this keeps a newly
+// registered constant from silently escaping the sweep.
+func TestAllNamesCoversRegistry(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "names.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parse names.go: %v", err)
+	}
+	declared := map[string]bool{}
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			if id, ok := vs.Type.(*ast.Ident); !ok || id.Name != "Name" {
+				continue
+			}
+			for _, v := range vs.Values {
+				lit, ok := v.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				name, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					t.Fatalf("unquote %s: %v", lit.Value, err)
+				}
+				declared[name] = true
+			}
+		}
+	}
+	if len(declared) == 0 {
+		t.Fatal("found no Name constants in names.go")
+	}
+
+	listed := map[string]bool{}
+	for _, n := range AllNames() {
+		if listed[string(n)] {
+			t.Errorf("AllNames lists %q twice", n)
+		}
+		listed[string(n)] = true
+	}
+	for name := range declared {
+		if !listed[name] {
+			t.Errorf("registered site %q missing from AllNames", name)
+		}
+	}
+	for name := range listed {
+		if !declared[name] {
+			t.Errorf("AllNames lists %q, which is not a registered constant", name)
+		}
+	}
+}

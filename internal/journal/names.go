@@ -24,6 +24,7 @@ const (
 	NodeEpochCommit   Kind = "node/epoch-commit"   // epoch finalized: root fold, committed, aborted, txs
 	NodeBlockDiscard  Kind = "node/block-discard"  // validation dropped a block: hash fold
 	NodeEpochAssembly Kind = "node/epoch-assembly" // epoch composition feeding the scheduler: blocks, txs, block/tx-order digests
+	NodeRecoveryAudit Kind = "node/recovery-audit" // post-restore self-audit passed: epochs, folded re-derived assembly digests, root fold
 	NodeStageDone     Kind = "node/stage-done"     // one pipeline stage finished: stage name, tasks
 
 	// sched: concurrency-control phase outputs (emitted by the node's
@@ -56,7 +57,8 @@ const (
 // every honest replica for the same epoch — the alignment keys Diff uses.
 // A kind is only promoted here when every field it carries derives from
 // the epoch's content, never from timing, peer choice, or local restart
-// history (MVCC generations reset on restart, so state/* stays out).
+// history (MVCC generations reset on restart, so state/* stays out, and
+// node/recovery-audit stays out because only nodes that restarted emit it).
 var deterministicKinds = map[Kind]bool{
 	NodeEpochCommit:   true,
 	NodeBlockDiscard:  true,

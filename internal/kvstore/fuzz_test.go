@@ -59,13 +59,19 @@ func FuzzWAL(f *testing.F) {
 			t.Fatalf("close: %v", err)
 		}
 
-		// Intact log: replay must reproduce every record exactly.
+		// Intact log: replay must reproduce every record exactly and report
+		// the whole file as valid.
 		var got []walRec
-		err = replayWAL(path, func(op byte, key, value []byte) {
+		validLen, err := replayWAL(path, "", func(op byte, key, value []byte) {
 			got = append(got, walRec{op, append([]byte(nil), key...), append([]byte(nil), value...)})
 		})
 		if err != nil {
 			t.Fatalf("replay intact: %v", err)
+		}
+		if fi, err := os.Stat(path); err != nil {
+			t.Fatal(err)
+		} else if validLen != fi.Size() {
+			t.Fatalf("intact log: valid length %d, file size %d", validLen, fi.Size())
 		}
 		requireRecPrefix(t, recs, got, len(recs))
 
@@ -78,15 +84,19 @@ func FuzzWAL(f *testing.F) {
 			return
 		}
 		torn := filepath.Join(dir, "torn")
-		if err := os.WriteFile(torn, raw[:int(cut)%(len(raw)+1)], 0o644); err != nil {
+		cutAt := int(cut) % (len(raw) + 1)
+		if err := os.WriteFile(torn, raw[:cutAt], 0o644); err != nil {
 			t.Fatal(err)
 		}
 		got = nil
-		err = replayWAL(torn, func(op byte, key, value []byte) {
+		validLen, err = replayWAL(torn, "", func(op byte, key, value []byte) {
 			got = append(got, walRec{op, append([]byte(nil), key...), append([]byte(nil), value...)})
 		})
 		if err != nil {
 			t.Fatalf("replay torn: %v", err)
+		}
+		if validLen > int64(cutAt) {
+			t.Fatalf("torn log: valid length %d past the cut at %d", validLen, cutAt)
 		}
 		requireRecPrefix(t, recs, got, -1)
 	})

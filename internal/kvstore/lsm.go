@@ -29,7 +29,20 @@ var (
 		"Records appended to write-ahead logs.")
 	mWALBytes = metrics.Default().Counter("nezha_lsm_wal_bytes_total",
 		"Bytes appended to write-ahead logs (including framing).")
+	mWALTornTail = metrics.Default().Counter("nezha_wal_torn_tail_total",
+		"Torn WAL tails truncated during replay (the clean prefix an in-flight append leaves at a crash).")
+	mWALCorruption = metrics.Default().Counter("nezha_wal_corruption_total",
+		"WAL replays rejected for mid-log corruption (ErrWALCorrupt).")
 )
+
+// WALTornTails and WALCorruptions expose the process-wide replay-integrity
+// counters so harnesses (the crash-point sweep, recovery tests) can assert
+// on deltas without scraping the exposition endpoint.
+func WALTornTails() float64 { return mWALTornTail.Value() }
+
+// WALCorruptions reports how many WAL replays were rejected with
+// ErrWALCorrupt. See WALTornTails.
+func WALCorruptions() float64 { return mWALCorruption.Value() }
 
 // LSMOptions tunes the LSM store.
 type LSMOptions struct {
@@ -114,16 +127,24 @@ func OpenLSM(dir string, opts LSMOptions) (*LSM, error) {
 	}
 	mTables.Add(float64(len(s.tables)))
 
-	// Replay the WAL into a fresh memtable, then keep appending to the
-	// same log (replayed records are idempotent on the next recovery).
+	// Replay the WAL into a fresh memtable, then truncate any torn tail
+	// before reopening the same log for append. The truncation matters:
+	// appending after leftover garbage would strand every later record
+	// behind an unreadable span, which the next recovery must reject as
+	// corruption (it cannot tell stranded records from planted ones).
 	walPath := filepath.Join(dir, "wal.log")
-	err = replayWAL(walPath, func(op byte, key, value []byte) {
+	validLen, err := replayWAL(walPath, opts.FailTag, func(op byte, key, value []byte) {
 		k := append([]byte(nil), key...)
 		v := append([]byte(nil), value...)
 		s.mem.put(k, v, op == walOpDelete)
 	})
 	if err != nil {
 		return nil, err
+	}
+	if fi, statErr := os.Stat(walPath); statErr == nil && fi.Size() > validLen {
+		if err := os.Truncate(walPath, validLen); err != nil {
+			return nil, fmt.Errorf("kvstore: truncate torn wal tail: %w", err)
+		}
 	}
 	s.log, err = openWAL(walPath, opts.FailTag)
 	if err != nil {

@@ -199,8 +199,11 @@ func isFailPkg(path string) bool {
 
 // isHarnessPkg reports whether a package is a fault-injection harness
 // allowed to arm failpoints from non-test code: internal/chaos (the
-// convergence harness) and internal/stress (the chaos soak driver).
+// convergence harness, which also hosts the crash-point sweep), a
+// split-out crashsweep package should the sweep ever move, and
+// internal/stress (the chaos soak driver).
 func isHarnessPkg(path string) bool {
 	return path == "chaos" || strings.HasSuffix(path, "/chaos") ||
+		path == "crashsweep" || strings.HasSuffix(path, "/crashsweep") ||
 		path == "stress" || strings.HasSuffix(path, "/stress")
 }

@@ -253,3 +253,61 @@ func TestHistogramQuantile(t *testing.T) {
 		t.Errorf("Quantile(1) with +Inf samples = %v, want clamp to 4", got)
 	}
 }
+
+// TestHistogramQuantileEdges pins the degenerate shapes the interpolation
+// loop has to survive: a single bucket, the exact q=0/q=1 endpoints, a
+// bound-less histogram, a NaN quantile, and empty leading buckets.
+func TestHistogramQuantileEdges(t *testing.T) {
+	r := NewRegistry()
+
+	// A histogram with no finite bounds can't place any estimate. The
+	// registry substitutes DurationBuckets for empty bounds, so the only
+	// way to reach this guard is a zero-value struct.
+	unbounded := &Histogram{}
+	unbounded.count.Add(1)
+	if !math.IsNaN(unbounded.Quantile(0.5)) {
+		t.Error("histogram without bounds must report NaN")
+	}
+
+	// Single bucket: the whole distribution interpolates across (0, 10].
+	single := r.Histogram("edge_single", "", []float64{10})
+	single.Observe(5)
+	if !math.IsNaN(single.Quantile(math.NaN())) {
+		t.Error("NaN quantile must report NaN")
+	}
+	for _, c := range []struct{ q, want float64 }{
+		{0, 0},   // lower edge of the only occupied bucket
+		{0.5, 5}, // halfway through it
+		{1, 10},  // upper bound
+	} {
+		if got := single.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("single-bucket Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+
+	// Empty histograms stay NaN at the endpoints too, not zero.
+	empty := r.Histogram("edge_empty", "", []float64{1, 2})
+	if !math.IsNaN(empty.Quantile(0)) || !math.IsNaN(empty.Quantile(1)) {
+		t.Error("empty histogram must report NaN at q=0 and q=1")
+	}
+
+	// q=0 skips zero-count buckets: the estimate starts at the lower edge
+	// of the first bucket that actually holds samples.
+	skewed := r.Histogram("edge_skewed", "", []float64{1, 2, 4})
+	skewed.Observe(1.5)
+	skewed.Observe(1.5)
+	if got := skewed.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) with empty first bucket = %v, want 1", got)
+	}
+	if got := skewed.Quantile(1); got != 2 {
+		t.Errorf("Quantile(1) = %v, want 2", got)
+	}
+
+	// Everything in +Inf: no finite bucket can satisfy the rank, so the
+	// estimate clamps to the highest finite bound.
+	overflow := r.Histogram("edge_overflow", "", []float64{1})
+	overflow.Observe(50)
+	if got := overflow.Quantile(0.5); got != 1 {
+		t.Errorf("all-overflow Quantile(0.5) = %v, want clamp to 1", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/nezha-dag/nezha/internal/fail"
+	"github.com/nezha-dag/nezha/internal/journal"
 	"github.com/nezha-dag/nezha/internal/kvstore"
 	"github.com/nezha-dag/nezha/internal/rlp"
 	"github.com/nezha-dag/nezha/internal/types"
@@ -86,6 +87,12 @@ func (n *Node) restoreFromStore() (bool, error) {
 	if !found {
 		return false, nil
 	}
+	// The restore failpoint fires only on an actual restore (metadata
+	// found), so the crash-point sweep can kill a node mid-recovery without
+	// perturbing fresh starts.
+	if err := fail.HitTag(fail.NodeRestore, n.id); err != nil {
+		return false, fmt.Errorf("node: restore: %w", err)
+	}
 	item, err := rlp.Decode(raw)
 	if err != nil || item.K != rlp.KindList || len(item.List) < 1 {
 		return false, fmt.Errorf("node: corrupt metadata: %v", err)
@@ -137,5 +144,88 @@ func (n *Node) restoreFromStore() (bool, error) {
 	}
 	n.nextEpoch = next
 	n.roots = roots
+	if err := n.auditRecovery(blocks); err != nil {
+		return false, err
+	}
 	return true, nil
+}
+
+// auditRecovery is the post-restart self-audit: before a restored node
+// accepts any work it cross-checks what restoreFromStore rebuilt — the
+// watermark against the persisted roots, the replayed ledger heights, and
+// the re-derived assembly composition of every restored epoch — and
+// refuses to start on any inconsistency. A node that rejoins with state
+// subtly different from what it persisted poisons the cluster silently
+// (the seed-3 lesson; DESIGN.md §15), so recovery fails loudly instead.
+//
+// blocks is the restored canonical sequence: epoch-major ascending from 1,
+// chain-ascending within each epoch, exactly one block per (epoch, chain).
+func (n *Node) auditRecovery(blocks []*types.Block) error {
+	last := n.nextEpoch - 1
+	for e := uint64(0); e <= last; e++ {
+		if _, ok := n.roots[e]; !ok {
+			return fmt.Errorf("node: recovery audit: watermark %d but no persisted root for epoch %d", last, e)
+		}
+	}
+	chains := n.ledger.Chains()
+	for c := 0; c < chains; c++ {
+		if h := n.ledger.Height(uint32(c)); h < last {
+			return fmt.Errorf("node: recovery audit: chain %d replayed to height %d, below watermark %d", c, h, last)
+		}
+	}
+	if want := int(last) * chains; len(blocks) != want {
+		return fmt.Errorf("node: recovery audit: restored %d canonical blocks, want %d (%d epochs x %d chains)", len(blocks), want, last, chains)
+	}
+	if !journal.Enabled() {
+		return nil
+	}
+	// Re-derive each restored epoch's assembly digests. Where the
+	// in-process ring still holds that epoch's pre-crash
+	// node/epoch-assembly event (harness restarts share the recorder), the
+	// replayed composition must match it byte-for-byte: a mismatch means
+	// post-restart re-assembly is not identical to the never-crashed path —
+	// the exact bug class behind the seed-3 divergence.
+	prior := map[uint64][2]uint64{}
+	for _, ev := range n.jr.Snapshot() {
+		if ev.Kind != journal.NodeEpochAssembly {
+			continue
+		}
+		var bd, td uint64
+		for i := 0; i < int(ev.NumFields); i++ {
+			switch ev.Fields[i].Key {
+			case "bdigest":
+				bd = ev.Fields[i].Val
+			case "tdigest":
+				td = ev.Fields[i].Val
+			}
+		}
+		prior[ev.Epoch] = [2]uint64{bd, td}
+	}
+	const prime = 1099511628211
+	bfold, tfold := uint64(14695981039346656037), uint64(14695981039346656037)
+	for e := uint64(1); e <= last; e++ {
+		// Take the epoch's blocks through the ledger's own ordering (OHIE
+		// rank order), not the chain-ascending order they were loaded in:
+		// the live pipeline assembles epochs via EpochBlocks, so this also
+		// proves the persisted ranks reproduce the pre-crash canonical
+		// order.
+		group, ok := n.ledger.EpochBlocks(e)
+		if !ok {
+			return fmt.Errorf("node: recovery audit: restored ledger cannot serve epoch %d below watermark %d", e, last)
+		}
+		bd, td := AssemblyDigests(e, group)
+		if p, ok := prior[e]; ok && (p[0] != bd || p[1] != td) {
+			return fmt.Errorf("node: recovery audit: epoch %d re-assembly digests (%#x, %#x) differ from pre-restart assembly (%#x, %#x)",
+				e, bd, td, p[0], p[1])
+		}
+		bfold = (bfold ^ bd) * prime
+		tfold = (tfold ^ td) * prime
+	}
+	root := n.roots[last]
+	n.jr.Emit(journal.NodeRecoveryAudit, last,
+		journal.F("epochs", last),
+		journal.F("bfold", bfold),
+		journal.F("tfold", tfold),
+		journal.F("root", journal.FoldBytes(root[:])))
+	return nil
 }

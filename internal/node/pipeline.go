@@ -216,6 +216,19 @@ func assemblyDigests(blocks []*types.Block, txs []*types.Transaction) (uint64, u
 	return bd, td
 }
 
+// AssemblyDigests re-derives the node/epoch-assembly digests for an epoch
+// from its canonical blocks — the forensic hook the recovery self-audit
+// and the crash-point sweep use to compare composition across a crash
+// boundary. Epoch assembly is deterministic in the block sequence:
+// types.NewEpoch assigns transaction IDs in block order, so two nodes (or
+// one node before and after a restart) holding the same blocks in the same
+// order must produce identical digests. Re-assigning IDs here is
+// idempotent for blocks taken in their canonical epoch order.
+func AssemblyDigests(epoch uint64, blocks []*types.Block) (blockDigest, txDigest uint64) {
+	ep := types.NewEpoch(epoch, blocks)
+	return assemblyDigests(blocks, ep.Txs)
+}
+
 // executeStage speculatively executes the epoch's transactions against the
 // pre-epoch state on the worker pool. The default read path is a copy-free
 // MVCC view (no per-epoch state duplication; the background prefetch of
