@@ -16,8 +16,10 @@ import (
 	"github.com/nezha-dag/nezha/internal/lint/analysis"
 	"github.com/nezha-dag/nezha/internal/lint/detmap"
 	"github.com/nezha-dag/nezha/internal/lint/detsource"
+	"github.com/nezha-dag/nezha/internal/lint/dettaint"
 	"github.com/nezha-dag/nezha/internal/lint/failpoint"
 	"github.com/nezha-dag/nezha/internal/lint/journalhygiene"
+	"github.com/nezha-dag/nezha/internal/lint/lockorder"
 	"github.com/nezha-dag/nezha/internal/lint/locksafe"
 	"github.com/nezha-dag/nezha/internal/lint/metricshygiene"
 )
@@ -26,8 +28,10 @@ func main() {
 	analysis.Main(
 		detmap.Analyzer,
 		detsource.Analyzer,
+		dettaint.Analyzer,
 		failpoint.Analyzer,
 		journalhygiene.Analyzer,
+		lockorder.Analyzer,
 		locksafe.Analyzer,
 		metricshygiene.Analyzer,
 	)

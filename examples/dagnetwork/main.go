@@ -45,13 +45,9 @@ func run() error {
 		return err
 	}
 	txs := gen.Txs(6_000)
-	snap, err := gen.Snapshot(txs)
+	genesis, err := gen.GenesisWrites(txs)
 	if err != nil {
 		return err
-	}
-	genesis := make([]types.WriteEntry, 0, len(snap))
-	for k, v := range snap {
-		genesis = append(genesis, types.WriteEntry{Key: k, Value: v})
 	}
 
 	net := p2p.NewNetwork(p2p.Config{Latency: latency, Jitter: latency, QueueLen: 4096})

@@ -53,13 +53,9 @@ func run(name string, sched types.Scheduler, txCount int, skew float64, epochs i
 		return err
 	}
 	txs := gen.Txs(txCount * epochs)
-	snap, err := gen.Snapshot(txs)
+	genesis, err := gen.GenesisWrites(txs)
 	if err != nil {
 		return err
-	}
-	genesis := make([]types.WriteEntry, 0, len(snap))
-	for k, v := range snap {
-		genesis = append(genesis, types.WriteEntry{Key: k, Value: v})
 	}
 
 	n, err := node.New(name, kvstore.NewMemory(), node.Config{

@@ -3,6 +3,7 @@ package bench
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/nezha-dag/nezha/internal/cg"
@@ -36,6 +37,8 @@ func runScheme(o Options, sched types.Scheduler, snapshot map[types.Key][]byte, 
 	for k, v := range snapshot {
 		seed = append(seed, types.WriteEntry{Key: k, Value: v})
 	}
+	// Seed order reaches the state trie; keep the run byte-reproducible.
+	sort.Slice(seed, func(i, j int) bool { return seed[i].Key.Less(seed[j].Key) })
 	if _, err := db.Commit(seed); err != nil {
 		return out, err
 	}

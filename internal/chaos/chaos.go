@@ -411,13 +411,9 @@ func (h *harness) setup(root string) error {
 		return err
 	}
 	h.txs = gen.Txs(h.cfg.Rounds * blocksPerRound * blockTxs)
-	snap, err := gen.Snapshot(h.txs)
+	genesis, err := gen.GenesisWrites(h.txs)
 	if err != nil {
 		return err
-	}
-	genesis := make([]types.WriteEntry, 0, len(snap))
-	for k, v := range snap {
-		genesis = append(genesis, types.WriteEntry{Key: k, Value: v})
 	}
 	h.nodeCfg = node.Config{
 		Consensus:         consensus.Params{Chains: h.cfg.Chains},

@@ -340,13 +340,9 @@ func (c *crashTrial) setup() error {
 		return err
 	}
 	c.txs = gen.Txs(c.cfg.Rounds * blocksPerRound * blockTxs)
-	snap, err := gen.Snapshot(c.txs)
+	genesis, err := gen.GenesisWrites(c.txs)
 	if err != nil {
 		return err
-	}
-	genesis := make([]types.WriteEntry, 0, len(snap))
-	for k, v := range snap {
-		genesis = append(genesis, types.WriteEntry{Key: k, Value: v})
 	}
 	c.nodeCfg = node.Config{
 		Consensus:     consensus.Params{Chains: c.cfg.Chains},

@@ -265,7 +265,7 @@ func (r *Recorder) emit(kind Kind, epoch uint64, fields []Field) {
 	s.mu.Lock()
 	ev := &s.ev
 	ev.Seq = seq
-	ev.Wall = time.Now().UnixNano()
+	ev.Wall = time.Now().UnixNano() //nezha:nondeterminism-ok Wall is human-correlation metadata; PayloadEqual and the divergence diff exclude it
 	ev.LC = lc
 	ev.Node = r.node
 	ev.Kind = kind

@@ -4,12 +4,19 @@
 // x/tools, which this repo deliberately avoids (zero third-party deps).
 //
 // The API mirrors the x/tools types field-for-field where we use them —
-// Analyzer, Pass, Diagnostic, SuggestedFix, TextEdit — so migrating an
-// analyzer onto the real framework later is a change of import path, not
-// a rewrite. What is intentionally missing: Facts, Requires/ResultOf
-// (no analyzer composition), and flags per analyzer. Loading is done by
-// shelling out to `go list -export` and type-checking each target package
-// from source against the build cache's export data (see Load).
+// Analyzer, Pass, Diagnostic, SuggestedFix, TextEdit, and (since the
+// flow analyzers landed) object Facts — so migrating an analyzer onto
+// the real framework later is a change of import path, not a rewrite.
+// What is intentionally missing: Requires/ResultOf (no analyzer-to-
+// analyzer composition) and flags per analyzer. Two deliberate
+// extensions go beyond x/tools: Analyzer.Finish, a whole-program hook
+// for analyzers that aggregate state across every package (lockorder's
+// global acquisition graph), and Diagnostic.Path, a multi-position
+// explanation trail (dettaint's source→sink chain, lockorder's cycle).
+// Loading is done by shelling out to `go list -export` and type-checking
+// each target package from source against the build cache's export data
+// (see Load); `go list -deps` emits dependencies before dependents, so
+// passes run in dependency order and facts flow bottom-up.
 package analysis
 
 import (
@@ -30,6 +37,16 @@ type Analyzer struct {
 	// (kept for x/tools signature compatibility); findings are delivered
 	// through pass.Report.
 	Run func(*Pass) (any, error)
+	// FactTypes lists the fact types the analyzer exports or imports
+	// (documentation and a registration sanity check; each entry must be
+	// a pointer).
+	FactTypes []Fact
+	// Finish, if non-nil, runs once after Run has seen every package —
+	// the hook for whole-program verdicts that no single package can
+	// decide (lockorder's cycle detection over the global acquisition
+	// graph). Its Pass carries Fset, Shared, and Report; Files, Pkg, and
+	// TypesInfo are nil.
+	Finish func(*Pass) (any, error)
 }
 
 // Pass hands an Analyzer one type-checked package.
@@ -40,6 +57,15 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+	// Shared is per-analyzer scratch state threaded through every pass of
+	// one Run, including Finish — where an analyzer accumulates whole-
+	// program structures (lockorder's edge set). Never shared between
+	// analyzers or between Runs.
+	Shared map[any]any
+
+	// facts is the run's fact store (see facts.go); nil for standalone
+	// passes constructed outside Run.
+	facts *factStore
 }
 
 // Reportf reports a diagnostic at pos with a formatted message.
@@ -62,8 +88,19 @@ type Diagnostic struct {
 	Pos     token.Pos
 	End     token.Pos // optional
 	Message string
+	// Path is an optional multi-position explanation trail, oldest hop
+	// first: dettaint attaches the interprocedural source→sink chain,
+	// lockorder the edges of a deadlock cycle. The driver prints each
+	// step indented under the finding and carries them in -json output.
+	Path []PathStep
 	// SuggestedFixes are mechanical rewrites nezha-vet -fix can apply.
 	SuggestedFixes []SuggestedFix
+}
+
+// PathStep is one hop of a Diagnostic.Path.
+type PathStep struct {
+	Pos     token.Pos
+	Message string
 }
 
 // SuggestedFix is one alternative mechanical repair for a diagnostic.

@@ -59,29 +59,58 @@ func RunWithSuggestedFixes(t *testing.T, testdata string, a *analysis.Analyzer, 
 	run(t, testdata, a, true, pkgPaths...)
 }
 
+// run drives one analyzer over the named packages in order (list
+// dependency packages before their dependents, as the real checker's
+// `go list -deps` ordering does, so exported facts flow bottom-up), then
+// runs the analyzer's Finish hook. Finish-phase diagnostics are checked
+// against the want comments of whichever listed package's files they
+// land in.
 func run(t *testing.T, testdata string, a *analysis.Analyzer, fixes bool, pkgPaths ...string) {
 	t.Helper()
 	r := newResolver(testdata)
+	runner := analysis.NewTestRunner(a)
+	type loaded struct {
+		pkg   *sourcePkg
+		diags []analysis.Diagnostic
+	}
+	pkgs := make([]*loaded, 0, len(pkgPaths))
 	for _, path := range pkgPaths {
 		pkg, err := r.loadSource(path)
 		if err != nil {
 			t.Fatalf("loading %s: %v", path, err)
 		}
-		var diags []analysis.Diagnostic
-		pass := &analysis.Pass{
-			Analyzer:  a,
-			Fset:      r.fset,
-			Files:     pkg.files,
-			Pkg:       pkg.types,
-			TypesInfo: pkg.info,
-			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
-		}
+		l := &loaded{pkg: pkg}
+		pass := runner.Pass(r.fset, pkg.files, pkg.types, pkg.info,
+			func(d analysis.Diagnostic) { l.diags = append(l.diags, d) })
 		if _, err := a.Run(pass); err != nil {
 			t.Fatalf("%s: analyzer failed: %v", path, err)
 		}
-		checkExpectations(t, r.fset, pkg.files, diags)
+		pkgs = append(pkgs, l)
+	}
+	if a.Finish != nil {
+		// Whole-program diagnostics attach to the loaded package whose
+		// files contain their position (falling back to the last one).
+		finishPass := runner.FinishPass(r.fset, func(d analysis.Diagnostic) {
+			for _, l := range pkgs {
+				for _, f := range l.pkg.files {
+					if f.FileStart <= d.Pos && d.Pos < f.FileEnd {
+						l.diags = append(l.diags, d)
+						return
+					}
+				}
+			}
+			if len(pkgs) > 0 {
+				pkgs[len(pkgs)-1].diags = append(pkgs[len(pkgs)-1].diags, d)
+			}
+		})
+		if _, err := a.Finish(finishPass); err != nil {
+			t.Fatalf("finish failed: %v", err)
+		}
+	}
+	for _, l := range pkgs {
+		checkExpectations(t, r.fset, l.pkg.files, l.diags)
 		if fixes {
-			checkGolden(t, r.fset, diags)
+			checkGolden(t, r.fset, l.diags)
 		}
 	}
 }

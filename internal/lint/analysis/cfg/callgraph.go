@@ -1,0 +1,204 @@
+package cfg
+
+// The offline call graph: static (compile-time-resolvable) call edges
+// between the functions of the loaded packages, plus the bottom-up SCC
+// ordering the flow analyzers use to compute per-function summaries
+// callees-first. Dynamic dispatch — interface methods, function values
+// — resolves to the interface/declared object or not at all; analyzers
+// treat an unresolved or summary-less callee conservatively (dettaint
+// stops taint, lockorder assumes no acquisitions) and the doc.go of
+// each analyzer states that limit.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FuncInfo is one analyzable function body: a declared function/method
+// (Decl and Obj set) or a function literal (Lit set, Obj nil — literals
+// get no summaries, but their bodies are scanned for local findings).
+type FuncInfo struct {
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+	Obj  *types.Func
+	G    *CFG
+}
+
+// Name renders the function for diagnostics.
+func (f *FuncInfo) Name() string {
+	if f.Obj != nil {
+		return f.Obj.FullName()
+	}
+	return "func literal"
+}
+
+// Body returns the function's block statement.
+func (f *FuncInfo) Body() *ast.BlockStmt {
+	if f.Decl != nil {
+		return f.Decl.Body
+	}
+	return f.Lit.Body
+}
+
+// PackageFuncs returns every function body in the files — declared
+// functions first (source order), then function literals (source order)
+// — each with its CFG built. Bodiless declarations are skipped.
+func PackageFuncs(files []*ast.File) []*FuncInfo {
+	return packageFuncs(files, nil)
+}
+
+// PackageFuncsInfo is PackageFuncs resolving each declaration's object
+// through info (needed for summaries and the call graph).
+func PackageFuncsInfo(info *types.Info, files []*ast.File) []*FuncInfo {
+	return packageFuncs(files, info)
+}
+
+func packageFuncs(files []*ast.File, info *types.Info) []*FuncInfo {
+	var decls, lits []*FuncInfo
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return true
+				}
+				fi := &FuncInfo{Decl: n, G: New(n.Body)}
+				if info != nil {
+					if obj, ok := info.Defs[n.Name].(*types.Func); ok {
+						fi.Obj = obj
+					}
+				}
+				decls = append(decls, fi)
+			case *ast.FuncLit:
+				lits = append(lits, &FuncInfo{Lit: n, G: New(n.Body)})
+			}
+			return true
+		})
+	}
+	return append(decls, lits...)
+}
+
+// StaticCallee resolves a call expression to its compile-time callee:
+// a package function, a method (by declared receiver), or a method
+// expression. Calls through function values, builtins, and type
+// conversions return nil.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return fn.Origin()
+}
+
+// CallsIn returns the static callees invoked anywhere in the function's
+// body (FuncLits included: a closure defined here runs with this
+// function's call obligations from the analyses' point of view — both
+// flow analyzers scan literal bodies separately for local findings, but
+// the call-graph edge keeps summary ordering right when a function
+// passes work to its own closure).
+func CallsIn(info *types.Info, fi *FuncInfo) []*types.Func {
+	var out []*types.Func
+	seen := map[*types.Func]bool{}
+	ast.Inspect(fi.Body(), func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := StaticCallee(info, call); fn != nil && !seen[fn] {
+			seen[fn] = true
+			out = append(out, fn)
+		}
+		return true
+	})
+	return out
+}
+
+// BottomUp groups the declared functions into strongly connected
+// components of the intra-package call graph and returns the groups
+// callees-first: by the time a group is visited, every function it
+// calls outside the group has already been visited. Mutually recursive
+// functions share a group; the analyzers iterate a group to a fixpoint.
+// Function literals (Obj == nil) are appended as singleton groups at
+// the end.
+func BottomUp(info *types.Info, fns []*FuncInfo) [][]*FuncInfo {
+	byObj := map[*types.Func]int{}
+	for i, f := range fns {
+		if f.Obj != nil {
+			byObj[f.Obj] = i
+		}
+	}
+	// Intra-package adjacency by index.
+	adj := make([][]int, len(fns))
+	for i, f := range fns {
+		if f.Obj == nil {
+			continue
+		}
+		for _, callee := range CallsIn(info, f) {
+			if j, ok := byObj[callee]; ok {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	// Tarjan: SCCs pop in reverse topological order — callees' components
+	// complete before their callers' — which is exactly bottom-up.
+	const unvisited = -1
+	index := make([]int, len(fns))
+	low := make([]int, len(fns))
+	onStack := make([]bool, len(fns))
+	for i := range index {
+		index[i] = unvisited
+	}
+	var stack []int
+	var groups [][]*FuncInfo
+	next := 0
+	var strong func(int)
+	strong = func(v int) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if index[w] == unvisited {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var group []*FuncInfo
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				group = append(group, fns[w])
+				if w == v {
+					break
+				}
+			}
+			groups = append(groups, group)
+		}
+	}
+	for i, f := range fns {
+		if f.Obj != nil && index[i] == unvisited {
+			strong(i)
+		}
+	}
+	for _, f := range fns {
+		if f.Obj == nil {
+			groups = append(groups, []*FuncInfo{f})
+		}
+	}
+	return groups
+}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
@@ -9,18 +10,29 @@ import (
 	"strings"
 )
 
-// Finding pairs a diagnostic with where it came from.
+// Finding pairs a diagnostic with where it came from. Fset is carried
+// directly (not via a Package) because Finish-phase findings belong to
+// no single package.
 type Finding struct {
 	Analyzer *Analyzer
-	Package  *Package
+	Fset     *token.FileSet
+	PkgPath  string // "" for whole-program (Finish) findings
 	Diagnostic
 }
 
-// Run applies every analyzer to every package and returns the findings
-// sorted by file position. Analyzer errors (not findings — crashes) are
-// returned as an error.
+// Run applies every analyzer to every package — in the order Load
+// returned them, which `go list -deps` guarantees is dependency order,
+// so facts exported while analyzing a package are visible to every
+// dependent package's pass — then runs each analyzer's Finish hook, and
+// returns the findings sorted by file position. Analyzer errors (not
+// findings — crashes) are returned as an error.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	var findings []Finding
+	facts := newFactStore()
+	shared := map[*Analyzer]map[any]any{}
+	for _, a := range analyzers {
+		shared[a] = map[any]any{}
+	}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -29,17 +41,35 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Shared:    shared[a],
+				facts:     facts,
 			}
 			pass.Report = func(d Diagnostic) {
-				findings = append(findings, Finding{Analyzer: a, Package: pkg, Diagnostic: d})
+				findings = append(findings, Finding{Analyzer: a, Fset: pkg.Fset, PkgPath: pkg.PkgPath, Diagnostic: d})
 			}
 			if _, err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.PkgPath, err)
 			}
 		}
 	}
+	var fset *token.FileSet
+	if len(pkgs) > 0 {
+		fset = pkgs[0].Fset // Load shares one fset across all packages
+	}
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		pass := &Pass{Analyzer: a, Fset: fset, Shared: shared[a], facts: facts}
+		pass.Report = func(d Diagnostic) {
+			findings = append(findings, Finding{Analyzer: a, Fset: fset, Diagnostic: d})
+		}
+		if _, err := a.Finish(pass); err != nil {
+			return nil, fmt.Errorf("%s: finish: %v", a.Name, err)
+		}
+	}
 	sort.SliceStable(findings, func(i, j int) bool {
-		pi, pj := pkgs[0].Fset.Position(findings[i].Pos), pkgs[0].Fset.Position(findings[j].Pos)
+		pi, pj := findings[i].Fset.Position(findings[i].Pos), findings[j].Fset.Position(findings[j].Pos)
 		if pi.Filename != pj.Filename {
 			return pi.Filename < pj.Filename
 		}
@@ -51,6 +81,46 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	return findings, nil
 }
 
+// jsonFinding is the -json wire form of one finding: flat location
+// fields for the problem-matcher and tooling, plus the explanation path.
+type jsonFinding struct {
+	Analyzer string     `json:"analyzer"`
+	File     string     `json:"file"`
+	Line     int        `json:"line"`
+	Col      int        `json:"col"`
+	Message  string     `json:"message"`
+	Path     []jsonStep `json:"path,omitempty"`
+}
+
+type jsonStep struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Message string `json:"message"`
+}
+
+// writeJSON prints findings as one JSON array on w-equivalent stdout.
+func writeJSON(findings []Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		pos := f.Fset.Position(f.Pos)
+		jf := jsonFinding{
+			Analyzer: f.Analyzer.Name,
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Message:  f.Message,
+		}
+		for _, s := range f.Path {
+			sp := f.Fset.Position(s.Pos)
+			jf.Path = append(jf.Path, jsonStep{File: sp.Filename, Line: sp.Line, Message: s.Message})
+		}
+		out = append(out, jf)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
 // Main is the multichecker driver behind cmd/nezha-vet: parse flags, load
 // the named packages, run the analyzers, print findings GNU-style, and
 // exit 0 (clean), 1 (findings), or 2 (usage or load failure).
@@ -59,6 +129,7 @@ func Main(analyzers ...*Analyzer) {
 	list := fs.Bool("list", false, "list registered analyzers and exit")
 	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
 	fix := fs.Bool("fix", false, "apply suggested fixes to the source tree")
+	jsonOut := fs.Bool("json", false, "print findings as a JSON array (file, line, analyzer, message, path)")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: nezha-vet [flags] [package patterns]\n\n"+
 			"Runs the repo-specific invariant analyzers (see internal/lint) over the\n"+
@@ -102,10 +173,20 @@ func Main(analyzers ...*Analyzer) {
 		fmt.Fprintf(os.Stderr, "nezha-vet: %v\n", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Printf("%s: [%s] %s\n", f.Package.Fset.Position(f.Pos), f.Analyzer.Name, f.Message)
-		for _, sf := range f.SuggestedFixes {
-			fmt.Printf("\tfix available: %s (nezha-vet -fix)\n", sf.Message)
+	if *jsonOut {
+		if err := writeJSON(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "nezha-vet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s: [%s] %s\n", f.Fset.Position(f.Pos), f.Analyzer.Name, f.Message)
+			for _, s := range f.Path {
+				fmt.Printf("\t%s: %s\n", f.Fset.Position(s.Pos), s.Message)
+			}
+			for _, sf := range f.SuggestedFixes {
+				fmt.Printf("\tfix available: %s (nezha-vet -fix)\n", sf.Message)
+			}
 		}
 	}
 	if *fix {
@@ -132,7 +213,7 @@ func applyFixes(findings []Finding) error {
 		if len(f.SuggestedFixes) == 0 {
 			continue
 		}
-		fset = f.Package.Fset
+		fset = f.Fset
 		for _, te := range f.SuggestedFixes[0].TextEdits {
 			start, end := fset.Position(te.Pos), fset.Position(te.End)
 			if start.Filename != end.Filename {

@@ -22,6 +22,12 @@ var CriticalPackages = []string{
 	"internal/check",
 	"internal/mvcc",
 	"internal/occda",
+	// The mempool's assembly/eviction order and the flight recorder's
+	// deterministic journal kinds are consensus-visible (DESIGN.md §10,
+	// §16): both hold replicated ordering contracts, so they get the
+	// same syntactic screening the state core does.
+	"internal/mempool",
+	"internal/journal",
 }
 
 // IsCritical reports whether the import path names a determinism-critical

@@ -1,0 +1,73 @@
+// Package dettaint implements the nezha-vet flow analyzer that tracks
+// nondeterminism interprocedurally from its sources to the sinks where
+// it becomes consensus divergence.
+//
+// # Invariant
+//
+// Every byte that reaches a consensus-critical sink — canonical RLP
+// encoding, a state-trie write, a deterministic journal event, the
+// ordered result of mempool assembly — must be a pure function of
+// replicated inputs. Nondeterminism is fine while it stays local
+// (scheduling, caches, metrics); the bug is the flow that carries it
+// into replicated state. detsource and detmap flag the sources
+// syntactically inside the critical packages; dettaint closes the
+// remaining gap: a source in ANY package whose value is laundered
+// through helpers, struct fields, and call chains into a sink.
+//
+// # Taint domain
+//
+// Two kinds, because their cures differ:
+//
+//   - ordering taint: deterministic content in nondeterministic order
+//     (keys collected by ranging a map, values received in goroutine-
+//     completion order). Sorting — or any commutative fold — kills it.
+//   - value taint: the content itself is nondeterministic (wall-clock
+//     reads, unseeded rand, environment reads, which select case won).
+//     Sorting does not help; the value must not reach the sink at all.
+//
+// Sources: ranging a map or channel, maps.Keys/Values/All, multi-way
+// select receives, time.Now/Since/Until, package-level math/rand and
+// math/rand/v2 functions (constructors excluded: a *rand.Rand may be
+// deterministically seeded), os.Getenv/LookupEnv/Environ.
+//
+// Sanitizers: in-place sorts (sort.Sort/Slice/Strings/..., slices.Sort*)
+// kill ordering taint on their argument; slices.Sorted* return clean
+// copies; commutative numeric folds (+= -= *= &= |= ^=) kill ordering
+// taint flowing into the accumulator; len/cap are order-insensitive;
+// writing into a map kills ordering taint (insertion order does not
+// change a map).
+//
+// # Interprocedural summaries
+//
+// Each function is analyzed over its CFG (internal/lint/analysis/cfg)
+// bottom-up in SCC order, producing a summary exported as an object
+// fact (FnFact): unconditional result taints with their traces, which
+// parameters flow into results, and which parameters reach a sink
+// inside the function or deeper. `go list -deps` ordering runs
+// dependency packages first, so the facts compose across package
+// boundaries and a flow like
+//
+//	node → helper pkg (collects map keys) → rlp.Encode
+//
+// reports at the outermost tainted call with the full multi-position
+// source→sink trail attached (Diagnostic.Path, printed indented by
+// nezha-vet and carried in -json output).
+//
+// # Escape hatch
+//
+//	stateRoot := r.emitDigest(parts) //nezha:dettaint-ok parts is a canonical singleton
+//
+// on the flagged line (or the line above) suppresses the finding; an
+// annotation without a reason is itself reported. Cross-package flows
+// are annotated at the call site in the reporting package.
+//
+// # Limits
+//
+// The analysis is field-insensitive (a struct shares one taint set),
+// does not model channel contents or captured closure variables, treats
+// comparisons as untainted (implicit/control-dependence flows are out
+// of scope), and resolves only static callees — an interface call or
+// function value conservatively passes its inputs through to its
+// result. These are the standard precision/cost trades for a linter
+// that must sweep the whole tree in seconds.
+package dettaint

@@ -1,0 +1,27 @@
+// Package helper is the laundering layer of the cross-package tests:
+// it has no sink calls with locally tainted data, so analyzing it alone
+// reports nothing — the findings only exist because its summaries
+// (result taint, parameter-to-sink flow) compose into callers.
+package helper
+
+import "rlp"
+
+// Keys returns m's keys in iteration order: the result carries ordering
+// taint no matter what the caller passes.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// EncodeJoined concatenates the parts into the canonical encoding: a
+// sink reached through a parameter, so the CALLER owns the ordering.
+func EncodeJoined(parts []string) []byte {
+	it := rlp.Item{}
+	for _, p := range parts {
+		it.S += p
+	}
+	return rlp.Encode(it)
+}

@@ -1,0 +1,17 @@
+// Package journal mirrors the real flight recorder's sink surface.
+package journal
+
+// Field is one key/value pair of an event payload.
+type Field struct {
+	Key string
+	Val uint64
+}
+
+// F builds a payload field (parameters flow into the result).
+func F(key string, val uint64) Field { return Field{Key: key, Val: val} }
+
+// Recorder is a minimal stand-in for the flight recorder.
+type Recorder struct{ n int }
+
+// Emit is the sink: a deterministic journal event.
+func (r *Recorder) Emit(kind string, fields ...Field) { r.n += len(fields) }

@@ -1,0 +1,25 @@
+// Package mempool mirrors the real pool's ordered-result contract:
+// Assemble's return order is consensus-visible, so deriving it from map
+// iteration order is the bug even with no sink call in sight.
+package mempool
+
+// Tx is one queued transaction.
+type Tx struct {
+	Sender string
+	Nonce  uint64
+}
+
+// Pool is a minimal stand-in for the real mempool.
+type Pool struct {
+	pending map[string][]Tx
+}
+
+// Assemble returns the next batch in map iteration order — the planted
+// contract violation.
+func (p *Pool) Assemble(max int) []Tx {
+	var out []Tx
+	for _, txs := range p.pending {
+		out = append(out, txs...)
+	}
+	return out // want `result ordering of Assemble derives from`
+}

@@ -1,0 +1,31 @@
+// The sorted twin of the mempool fixture: the same collect loop, but a
+// total-order sort before returning satisfies the contract.
+package mempool
+
+import "sort"
+
+// Tx is one queued transaction.
+type Tx struct {
+	Sender string
+	Nonce  uint64
+}
+
+// Pool is a minimal stand-in for the real mempool.
+type Pool struct {
+	pending map[string][]Tx
+}
+
+// Assemble returns the next batch in (sender, nonce) order.
+func (p *Pool) Assemble(max int) []Tx {
+	var out []Tx
+	for _, txs := range p.pending {
+		out = append(out, txs...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sender != out[j].Sender {
+			return out[i].Sender < out[j].Sender
+		}
+		return out[i].Nonce < out[j].Nonce
+	})
+	return out
+}

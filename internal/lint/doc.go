@@ -10,11 +10,24 @@
 //	detmap          unordered map ranges / multi-way selects in
 //	                determinism-critical packages (CriticalPackages)
 //	detsource       time.Now, global math/rand, os.Getenv in those packages
+//	dettaint        flow-sensitive, interprocedural taint: nondeterministic
+//	                ordering/values must not reach consensus-critical sinks
+//	                (rlp.Encode, Trie.Put/Delete, Recorder.Emit) anywhere
+//	                in the tree; diagnostics carry the source→sink path
 //	failpoint       failpoint names registered in internal/fail/names.go;
 //	                arming helpers confined to tests and internal/chaos
+//	journalhygiene  flight-recorder kinds registered in
+//	                internal/journal/names.go; no emits inside
+//	                determinism-critical packages
+//	lockorder       global mutex-acquisition-order graph is acyclic; no
+//	                same-family re-acquisition while held
 //	metricshygiene  literal nezha_[a-z0-9_]+ metric names, no constructors
 //	                in loops
 //	locksafe        no locks held across failpoint sites or channel sends
+//
+// dettaint and lockorder run on the CFG/dataflow layer
+// (internal/lint/analysis/cfg) and compose across packages through facts
+// (DESIGN.md §16); the rest are single-pass syntactic walks.
 //
 // This package holds what the analyzers share: the determinism-critical
 // package set (detset.go) and the annotation parser (annotation.go). The
@@ -31,12 +44,12 @@
 //	//nezha:<check>-ok <reason>
 //
 // where <check> is the invariant family ("nondeterminism" for detmap and
-// detsource, "locksafe" for locksafe) and <reason> is mandatory prose
-// explaining why this site is safe — an annotation without a reason is
-// itself a diagnostic. failpoint and metricshygiene accept no
-// annotations: registering a name or renaming a metric is always the
-// smaller diff. Grep for `nezha:.*-ok` to audit every exception in the
-// tree.
+// detsource, "dettaint", "lockorder", or "locksafe") and <reason> is
+// mandatory prose explaining why this site is safe — an annotation
+// without a reason is itself a diagnostic. failpoint, journalhygiene,
+// and metricshygiene accept no annotations: registering a name or
+// renaming a metric is always the smaller diff. Grep for `nezha:.*-ok`
+// to audit every exception in the tree.
 //
 // # Adding an analyzer
 //

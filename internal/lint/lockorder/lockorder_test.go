@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"github.com/nezha-dag/nezha/internal/lint/analysis/analysistest"
+	"github.com/nezha-dag/nezha/internal/lint/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "ab", "rw")
+}

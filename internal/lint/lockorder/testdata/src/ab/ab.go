@@ -1,0 +1,61 @@
+package ab
+
+import "sync"
+
+// A and B are two lock families; f and g acquire them in opposite
+// orders — the planted ABBA cycle.
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+func f(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock-order cycle: ab\.A\.mu -> ab\.B\.mu -> ab\.A\.mu`
+	defer b.mu.Unlock()
+}
+
+func g(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+}
+
+// nested reacquires the same family while held: self-deadlock.
+func nested(a *A) {
+	a.mu.Lock()
+	a.mu.Lock() // want `lock family ab\.A\.mu acquired again while already held`
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// lockAndCall holds A.mu across a call that takes it again: the
+// interprocedural variant, seen through helperLock's summary fact.
+func lockAndCall(a *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	helperLock(a) // want `call to helperLock acquires lock family ab\.A\.mu, which is already held`
+}
+
+func helperLock(a *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+}
+
+// annotated documents a deliberate same-family nesting.
+func annotated(a *A, a2 *A) {
+	a.mu.Lock()
+	a2.mu.Lock() //nezha:lockorder-ok fixture: distinct instances locked in caller-enforced order
+	a2.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// balanced takes the families in the f order with proper release:
+// consistent, so it adds no new edges and no findings.
+func balanced(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}

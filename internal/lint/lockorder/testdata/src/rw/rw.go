@@ -1,0 +1,42 @@
+package rw
+
+import "sync"
+
+// R exercises the RWMutex paths: RLock counts for ordering edges but
+// same-family RLock nesting is tolerated, and an embedded sync type
+// resolves to its own family.
+type R struct{ mu sync.RWMutex }
+
+type Pool struct{ sync.Mutex }
+
+func readers(r *R) {
+	r.mu.RLock()
+	r.mu.RLock() // shared-mode renesting: not reported
+	r.mu.RUnlock()
+	r.mu.RUnlock()
+}
+
+func upgrade(r *R) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.mu.Lock() // want `lock family rw\.R\.mu acquired again while already held`
+	r.mu.Unlock()
+}
+
+func embedded(p *Pool) {
+	p.Lock()
+	p.Lock() // want `lock family rw\.Pool\.Mutex acquired again while already held`
+	p.Unlock()
+	p.Unlock()
+}
+
+// spawn holds the pool lock while a goroutine takes the R lock: no
+// edge — the goroutine is its own thread and starts with nothing held.
+func spawn(p *Pool, r *R) {
+	p.Lock()
+	defer p.Unlock()
+	go func() {
+		r.mu.Lock()
+		r.mu.Unlock()
+	}()
+}

@@ -1,0 +1,3 @@
+module nezha.invalid/vetproof
+
+go 1.22

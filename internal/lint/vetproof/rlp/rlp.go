@@ -1,0 +1,11 @@
+// Package rlp is a stub standing in for the real encoder. The dettaint
+// sink table matches a call by the package path's last segment plus the
+// function name, so Encode here is a canonical-encoding sink exactly as
+// the real internal/rlp.Encode is — without importing the parent module.
+package rlp
+
+// Encode is a sink-shaped no-op.
+func Encode(v any) []byte {
+	_ = v
+	return nil
+}

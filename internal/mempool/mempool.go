@@ -135,7 +135,7 @@ func (cfg *Config) withDefaults() {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	if cfg.Clock == nil {
-		cfg.Clock = time.Now
+		cfg.Clock = time.Now //nezha:nondeterminism-ok Clock feeds only local rate-limiter refill; admission timing is per-node, never replicated
 	}
 }
 
@@ -393,7 +393,7 @@ func (p *Pool) evictLocked(s *shard, incoming *types.Transaction) error {
 		victim  *types.Transaction
 		victimQ *senderQueue
 	)
-	for addr, q := range s.senders {
+	for addr, q := range s.senders { //nezha:nondeterminism-ok min by the total (priority, sender, nonce) order; the victim is independent of iteration order
 		if len(q.nonces) == 0 {
 			continue
 		}

@@ -105,7 +105,7 @@ func (n *Node) runStages(er *epochRun, stages []stage) error {
 		ss.Duration = time.Since(start)
 		er.stats.Stages = append(er.stats.Stages, ss)
 		n.recordStageMetrics(st.name, ss)
-		n.jr.Emit(journal.NodeStageDone, er.number,
+		n.jr.Emit(journal.NodeStageDone, er.number, //nezha:dettaint-ok only the stage name and task count are journaled; the wall-clock Duration on ss stays in metrics and the tracer
 			journal.FS("stage", st.name), journal.F("tasks", uint64(ss.Tasks)))
 		n.tracer.Span(n.id, st.name, start, ss.Duration, map[string]any{
 			"epoch":     er.number,

@@ -198,6 +198,23 @@ func (g *Generator) Snapshot(txs []*types.Transaction) (map[types.Key][]byte, er
 	return snap, nil
 }
 
+// GenesisWrites is Snapshot flattened into genesis write entries in
+// canonical key order. Genesis order is replicated state — it reaches the
+// persisted epoch meta and the recovery audit journal — so the map is
+// sorted here, once, instead of trusting every caller to remember.
+func (g *Generator) GenesisWrites(txs []*types.Transaction) ([]types.WriteEntry, error) {
+	snap, err := g.Snapshot(txs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]types.WriteEntry, 0, len(snap))
+	for k, v := range snap {
+		out = append(out, types.WriteEntry{Key: k, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.Less(out[j].Key) })
+	return out, nil
+}
+
 // GenesisAll materializes the initial balances of the ENTIRE account
 // population as genesis writes. Streaming ingestion needs this instead of
 // Snapshot: the transaction stream is unbounded, so there is no up-front
